@@ -1,0 +1,34 @@
+# WSQ/DSQ reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench table1 examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# testing.B versions of every table/figure + ablations (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's Table 1 at scaled latency (-paper for ~750 ms/call).
+table1:
+	$(GO) run ./cmd/wsqbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/states
+	$(GO) run ./examples/sigs
+	$(GO) run ./examples/crawler
+	$(GO) run ./examples/dsq
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,64 @@
+// Command websearchd serves the synthetic search engines over HTTP.
+//
+// It stands in for the AltaVista and Google endpoints of the paper's
+// prototype: one process, two engines, each on its own port, with
+// configurable per-request latency.
+//
+// Usage:
+//
+//	websearchd [-av :8081] [-google :8082] [-latency 750ms] [-jitter 300ms] [-seed 1999] [-scale 2]
+//
+// API per engine:
+//
+//	GET /count?q=EXPR            total hit count (WebCount)
+//	GET /search?q=EXPR&k=K       top-K ranked results (WebPages)
+//	GET /fetch?url=URL           page body (WebFetch / crawler)
+//	GET /healthz                 engine identity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/websim"
+)
+
+func main() {
+	avAddr := flag.String("av", "127.0.0.1:8081", "listen address for the altavista engine")
+	gAddr := flag.String("google", "127.0.0.1:8082", "listen address for the google engine")
+	latency := flag.Duration("latency", 750*time.Millisecond, "base per-request latency")
+	jitter := flag.Duration("jitter", 300*time.Millisecond, "maximum additional random latency")
+	seed := flag.Int64("seed", 1999, "corpus generation seed")
+	scale := flag.Int("scale", 2, "corpus scale (pages per weight unit)")
+	flag.Parse()
+
+	log.Printf("building synthetic web corpus (seed=%d scale=%d)...", *seed, *scale)
+	start := time.Now()
+	corpus := websim.Build(websim.Config{Seed: *seed, Scale: *scale})
+	log.Printf("corpus ready: %d pages in %v", corpus.NumPages(), time.Since(start).Round(time.Millisecond))
+
+	model := search.LatencyModel{Base: *latency, Jitter: *jitter, CountFactor: 0.8}
+	av := search.NewDelayed(websim.NewAltaVista(corpus), model, *seed+1)
+	g := search.NewDelayed(websim.NewGoogle(corpus), model, *seed+2)
+
+	errc := make(chan error, 2)
+	for _, e := range []struct {
+		addr   string
+		engine search.Engine
+	}{{*avAddr, av}, {*gAddr, g}} {
+		e := e
+		go func() {
+			log.Printf("engine %s listening on http://%s", e.engine.Name(), e.addr)
+			errc <- http.ListenAndServe(e.addr, search.NewHandler(e.engine))
+		}()
+	}
+	if err := <-errc; err != nil {
+		fmt.Fprintf(os.Stderr, "websearchd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+// Command wsq is an interactive SQL shell over the WSQ engine: a small
+// relational database extended with the WebCount/WebPages/WebFetch virtual
+// tables and asynchronous iteration.
+//
+// By default it runs self-contained, with in-process synthetic engines and
+// the paper's tables preloaded; pass -av-url/-google-url to target a
+// running websearchd instead.
+//
+// Usage:
+//
+//	wsq [-db DIR] [-latency 250ms] [-sync] [-av-url URL] [-google-url URL] [-e QUERY]
+//
+// Shell commands:
+//
+//	.explain <query>   show the plan (and its async rewrite)
+//	.async on|off      toggle asynchronous iteration
+//	.tables            list stored tables
+//	.stats             pump and engine statistics
+//	.help              this help
+//	.quit              exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/search"
+	"repro/internal/websim"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (default: a temp dir)")
+	latency := flag.Duration("latency", 250*time.Millisecond, "simulated search latency (in-process engines)")
+	sync := flag.Bool("sync", false, "start with asynchronous iteration disabled")
+	avURL := flag.String("av-url", "", "URL of a websearchd altavista endpoint (default: in-process)")
+	gURL := flag.String("google-url", "", "URL of a websearchd google endpoint (default: in-process)")
+	cacheSize := flag.Int("cache", 0, "search-result cache capacity (0 = disabled)")
+	query := flag.String("e", "", "execute one query and exit")
+	flag.Parse()
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "wsq-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+
+	db, err := core.Open(core.Config{Dir: *dir, Async: !*sync, CacheSize: *cacheSize})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *avURL != "" || *gURL != "" {
+		if *avURL == "" || *gURL == "" {
+			fatal(fmt.Errorf("pass both -av-url and -google-url or neither"))
+		}
+		db.RegisterEngine(search.NewClient("altavista", *avURL), "AV")
+		db.RegisterEngine(search.NewClient("google", *gURL), "G")
+	} else {
+		corpus := websim.Default()
+		model := search.LatencyModel{Base: *latency, Jitter: *latency / 2, CountFactor: 0.8}
+		db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), model, 1), "AV")
+		db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), model, 2), "G")
+	}
+	if err := harness.LoadPaperTables(db); err != nil {
+		fatal(err)
+	}
+
+	if *query != "" {
+		if err := runStatement(db, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("WSQ/DSQ shell — virtual tables: WebCount[_AV|_Google], WebPages[_AV|_Google], WebFetch")
+	fmt.Println("tables: States, Sigs, CSFields, Movies  |  .help for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("wsq[%s]> ", mode(db))
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if done := command(db, line); done {
+				return
+			}
+			continue
+		}
+		if err := runStatement(db, line); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+func mode(db *core.DB) string {
+	if db.Async() {
+		return "async"
+	}
+	return "sync"
+}
+
+func command(db *core.DB, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Println(".explain <query> | .async on|off | .tables | .stats | .quit")
+	case ".tables":
+		for _, n := range db.Catalog().TableNames() {
+			fmt.Println(n)
+		}
+	case ".async":
+		if len(fields) == 2 {
+			db.SetAsync(fields[1] == "on")
+		}
+		fmt.Printf("asynchronous iteration: %s\n", mode(db))
+	case ".stats":
+		st := db.Pump().Stats()
+		fmt.Printf("pump: registered=%d cache-hits=%d coalesced=%d started=%d completed=%d max-concurrent=%d\n",
+			st.Registered, st.CacheHits, st.Coalesced, st.Started, st.Completed, st.MaxActive)
+	case ".explain":
+		q := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+		out, err := db.Explain(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			break
+		}
+		fmt.Print(out)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}
+
+func runStatement(db *core.DB, sql string) error {
+	start := time.Now()
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("elapsed: %v, external calls: %d\n",
+		time.Since(start).Round(time.Millisecond), res.Stats.ExternalCalls)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wsq: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "WSQ/DSQ: A Practical
+// Approach for Combined Querying of Databases and the Web" (Goldman &
+// Widom, SIGMOD 2000).
+//
+// The public entry points live in internal/core (the WSQ database engine),
+// internal/dsq (database-supported web queries), and internal/harness (the
+// experiment environment). See README.md for a tour and DESIGN.md for the
+// system inventory; bench_test.go in this directory regenerates every
+// table and figure of the paper's evaluation.
+package repro

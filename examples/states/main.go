@@ -1,0 +1,75 @@
+// The six example WSQ queries of Section 3.1 of the paper, run against the
+// synthetic web. Compare each result's shape with the paper's:
+//
+//	Q1  CA > WA > NY > TX > MI
+//	Q2  AK > WA > DE > HI > WY (count normalized by population)
+//	Q3  CO > NM > AZ > UT, then a dramatic dropoff
+//	Q4  exactly Atlanta, Lincoln, Boston, Jackson, Pierre, Columbia
+//	Q5  top two URLs per state
+//	Q6  four states where AltaVista and Google agree on a top-5 URL
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/search"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "wsq-states-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	env, err := harness.NewEnv(harness.Options{
+		Dir:     dir,
+		Latency: search.LatencyModel{Base: 80 * time.Millisecond, Jitter: 40 * time.Millisecond, CountFactor: 0.8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	db := env.DB
+
+	queries := []struct {
+		title string
+		sql   string
+		limit int
+	}{
+		{"Query 1: states by Web mentions",
+			`SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`, 5},
+		{"Query 2: normalized by population",
+			`SELECT Name, Count / Population AS C FROM States, WebCount WHERE Name = T1 ORDER BY C DESC`, 5},
+		{"Query 3: states near 'four corners'",
+			`SELECT Name, Count FROM States, WebCount WHERE Name = T1 AND T2 = 'four corners' ORDER BY Count DESC`, 6},
+		{"Query 4: capitals out-counting their states",
+			`SELECT Capital, C.Count, Name, S.Count FROM States, WebCount C, WebCount S
+			 WHERE Capital = C.T1 AND Name = S.T1 AND C.Count > S.Count`, 0},
+		{"Query 5: top two URLs per state",
+			`SELECT Name, URL, Rank FROM States, WebPages WHERE Name = T1 AND Rank <= 2 ORDER BY Name, Rank`, 8},
+		{"Query 6: top-5 URLs AltaVista and Google agree on",
+			`SELECT Name, AV.URL FROM States, WebPages_AV AV, WebPages_Google G
+			 WHERE Name = AV.T1 AND Name = G.T1 AND AV.Rank <= 5 AND G.Rank <= 5 AND AV.URL = G.URL`, 0},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("=== %s ===\n", q.title)
+		start := time.Now()
+		res, err := db.Query(q.sql)
+		if err != nil {
+			log.Fatalf("%s: %v", q.title, err)
+		}
+		show := *res
+		if q.limit > 0 && len(show.Rows) > q.limit {
+			show.Rows = show.Rows[:q.limit]
+		}
+		fmt.Print(show.Format())
+		fmt.Printf("external calls: %d, elapsed %v\n\n",
+			res.Stats.ExternalCalls, time.Since(start).Round(time.Millisecond))
+	}
+}

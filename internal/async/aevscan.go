@@ -1,0 +1,108 @@
+package async
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// AEVScan is the asynchronous external virtual-table scan of Section 4.1.
+// Where EVScan blocks for the duration of the search-engine request,
+// AEVScan registers the call with the ReqPump and immediately returns a
+// single tuple whose call-supplied attributes hold placeholders; the
+// ReqSync operator higher in the plan later patches, cancels, or expands
+// that tuple when the call completes (Section 4.3).
+type AEVScan struct {
+	Source exec.ExternalSource
+	Inputs []expr.Expr
+	Out    *schema.Schema
+	Pump   *Pump
+
+	emitted bool
+	callID  types.CallID
+	args    []types.Value
+}
+
+// NewAEVScan builds an asynchronous external scan.
+func NewAEVScan(src exec.ExternalSource, inputs []expr.Expr, out *schema.Schema, pump *Pump) *AEVScan {
+	return &AEVScan{Source: src, Inputs: inputs, Out: out, Pump: pump}
+}
+
+// FromEVScan converts a synchronous EVScan into its asynchronous
+// counterpart (step one of the rewrite algorithm). The pump takes over the
+// EVScan's cache, if any.
+func FromEVScan(ev *exec.EVScan, pump *Pump) *AEVScan {
+	return NewAEVScan(ev.Source, ev.Inputs, ev.Out, pump)
+}
+
+// Schema implements exec.Operator.
+func (s *AEVScan) Schema() *schema.Schema { return s.Out }
+
+// Open implements exec.Operator: it evaluates the call's parameters
+// against the current dependent-join bindings and registers the call with
+// the pump — without waiting.
+func (s *AEVScan) Open(ctx *exec.Context) error {
+	if s.Pump == nil {
+		return fmt.Errorf("AEVScan %s: no request pump", s.Source.Name())
+	}
+	args, err := exec.EvalArgs(s.Source.Name(), s.Inputs, ctx)
+	if err != nil {
+		return err
+	}
+	s.args = args
+	ctx.Stats.ExternalCalls++
+	src := s.Source
+	s.callID = s.Pump.Register(src.Destination(), src.CacheKey(args), func() ([]types.Tuple, error) {
+		return src.Call(args)
+	})
+	s.emitted = false
+	return nil
+}
+
+// Next implements exec.Operator: it emits exactly one tuple — argument
+// values echoed, call-supplied attributes as placeholders — then ends.
+// "We always begin by assuming that exactly one tuple joins, then 'patch'
+// our results in ReqSync" (Section 4.3).
+func (s *AEVScan) Next(ctx *exec.Context) (types.Tuple, bool, error) {
+	if s.emitted {
+		return nil, false, nil
+	}
+	s.emitted = true
+	numEcho := s.Source.NumEcho()
+	t := make(types.Tuple, s.Out.Len())
+	for i := 0; i < numEcho && i < len(s.args); i++ {
+		t[i] = s.args[i]
+	}
+	for i := numEcho; i < s.Out.Len(); i++ {
+		t[i] = types.Placeholder(s.callID, i-numEcho)
+	}
+	return t, true, nil
+}
+
+// Close implements exec.Operator.
+func (s *AEVScan) Close() error { return nil }
+
+// Children implements exec.Operator.
+func (s *AEVScan) Children() []exec.Operator { return nil }
+
+// SetChild implements exec.Operator.
+func (s *AEVScan) SetChild(int, exec.Operator) { panic("AEVScan has no children") }
+
+// Name implements exec.Operator.
+func (s *AEVScan) Name() string { return "AEVScan" }
+
+// Describe implements exec.Operator.
+func (s *AEVScan) Describe() string { return s.Source.Name() }
+
+// FilledAttrs returns the set of output attributes whose values this scan
+// leaves as placeholders — the ReqSync_i.A set of Section 4.5.2.
+func (s *AEVScan) FilledAttrs() map[schema.AttrID]bool {
+	set := make(map[schema.AttrID]bool)
+	for i := s.Source.NumEcho(); i < len(s.Out.Cols); i++ {
+		set[s.Out.Cols[i].ID] = true
+	}
+	return set
+}

@@ -1,0 +1,300 @@
+// Package async implements asynchronous iteration (Section 4 of the
+// WSQ/DSQ paper): the ReqPump global request manager, the AEVScan
+// asynchronous virtual-table scan, the ReqSync synchronization operator,
+// and the plan-rewriting algorithm (ReqSync Insertion, Percolation, and
+// Consolidation) that converts a conventional sequential query plan into
+// one that overlaps many external calls.
+package async
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+// CallResult is a completed external call's outcome, parked in the pump's
+// result table (the paper's ReqPumpHash) until the owning ReqSync consumes
+// it.
+type CallResult struct {
+	Rows []types.Tuple
+	Err  error
+}
+
+// Pump is the ReqPump of Section 4.1: "a module that issues asynchronous
+// network requests and stores the responses to each request as they
+// return". Concurrency is bounded globally and per destination ("we need
+// only add one counter to monitor the total number of active requests, and
+// one counter for each external destination"); calls that cannot start
+// immediately wait on a FIFO queue.
+//
+// The paper implements ReqPump as an event-driven loop in the style of the
+// Flash web server [PDZ99] because 1999-era threads were expensive. In Go
+// the idiomatic equivalent of cheap asynchronous I/O is a bounded set of
+// goroutines, which is what this implementation uses; the interface —
+// register, poll, await — is the paper's.
+type Pump struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxTotal int
+	maxDest  int
+	// destLimit overrides maxDest for specific destinations ("an
+	// administrator can configure each counter as desired", Section 4.1).
+	destLimit map[string]int
+
+	nextID      types.CallID
+	activeTotal int
+	activeDest  map[string]int
+	queue       []*pumpCall
+	results     map[types.CallID]CallResult
+	done        map[types.CallID]bool
+	cache       exec.ResultCache
+	// inflight coalesces duplicate in-flight calls: all CallIDs registered
+	// for a key while its first execution is still running share that one
+	// execution. Only enabled together with the result cache ([HN96]) —
+	// the Figure 7 hazard registers |R| identical calls back to back,
+	// before the first completes, so a cache alone never helps.
+	inflight map[string][]types.CallID
+
+	// Stats
+	registered int64
+	started    int64
+	completed  int64
+	cacheHits  int64
+	coalesced  int64
+	maxActive  int
+	closed     bool
+}
+
+type pumpCall struct {
+	id   types.CallID
+	dest string
+	key  string
+	fn   func() ([]types.Tuple, error)
+}
+
+// DefaultMaxTotal bounds total in-flight calls when no limit is given.
+const DefaultMaxTotal = 64
+
+// DefaultMaxPerDest bounds per-destination in-flight calls when no limit
+// is given.
+const DefaultMaxPerDest = 32
+
+// NewPump creates a pump with the given limits (zero selects defaults).
+// cache, when non-nil, memoizes results by call key: cached calls complete
+// instantly without consuming a network slot ([HN96]).
+func NewPump(maxTotal, maxPerDest int, cache exec.ResultCache) *Pump {
+	if maxTotal <= 0 {
+		maxTotal = DefaultMaxTotal
+	}
+	if maxPerDest <= 0 {
+		maxPerDest = DefaultMaxPerDest
+	}
+	p := &Pump{
+		maxTotal:   maxTotal,
+		maxDest:    maxPerDest,
+		activeDest: make(map[string]int),
+		results:    make(map[types.CallID]CallResult),
+		done:       make(map[types.CallID]bool),
+		cache:      cache,
+		inflight:   make(map[string][]types.CallID),
+		destLimit:  make(map[string]int),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Register enqueues an external call and returns its identifier
+// immediately; the call runs as soon as the concurrency limits allow. The
+// caller later claims the outcome with Take (typically from a ReqSync).
+func (p *Pump) Register(dest, key string, fn func() ([]types.Tuple, error)) types.CallID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	id := p.nextID
+	p.registered++
+	if p.cache != nil {
+		if rows, ok := p.cache.Get(key); ok {
+			p.cacheHits++
+			p.results[id] = CallResult{Rows: rows}
+			p.done[id] = true
+			p.cond.Broadcast()
+			return id
+		}
+		// Coalesce with an identical in-flight call.
+		if ids, ok := p.inflight[key]; ok {
+			p.coalesced++
+			p.inflight[key] = append(ids, id)
+			return id
+		}
+		p.inflight[key] = []types.CallID{id}
+	}
+	p.queue = append(p.queue, &pumpCall{id: id, dest: dest, key: key, fn: fn})
+	p.dispatchLocked()
+	return id
+}
+
+// dispatchLocked starts every queued call the limits allow. Callers hold
+// p.mu.
+func (p *Pump) dispatchLocked() {
+	i := 0
+	for i < len(p.queue) {
+		if p.activeTotal >= p.maxTotal {
+			return
+		}
+		c := p.queue[i]
+		if p.activeDest[c.dest] >= p.limitFor(c.dest) {
+			i++ // skip; a later call for another destination may fit
+			continue
+		}
+		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		p.activeTotal++
+		p.activeDest[c.dest]++
+		p.started++
+		if p.activeTotal > p.maxActive {
+			p.maxActive = p.activeTotal
+		}
+		go p.run(c)
+	}
+}
+
+// run executes one call and parks its result — for the registering CallID
+// and for every CallID coalesced onto it while it ran.
+func (p *Pump) run(c *pumpCall) {
+	rows, err := c.fn()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err == nil && p.cache != nil {
+		p.cache.Put(c.key, rows)
+	}
+	ids := []types.CallID{c.id}
+	if coalesced, ok := p.inflight[c.key]; ok {
+		ids = coalesced
+		delete(p.inflight, c.key)
+	}
+	for _, id := range ids {
+		p.results[id] = CallResult{Rows: rows, Err: err}
+		p.done[id] = true
+	}
+	p.completed++
+	p.activeTotal--
+	p.activeDest[c.dest]--
+	p.dispatchLocked()
+	p.cond.Broadcast()
+}
+
+// limitFor returns the effective concurrency limit for a destination.
+// Callers hold p.mu.
+func (p *Pump) limitFor(dest string) int {
+	if n, ok := p.destLimit[dest]; ok {
+		return n
+	}
+	return p.maxDest
+}
+
+// SetDestLimit overrides the per-destination concurrency limit for one
+// destination — the administrator knob of Section 4.1 ("we need only add
+// ... one counter for each external destination. An administrator can
+// configure each counter as desired."). A limit of zero or less parks the
+// destination's calls until the limit is raised.
+func (p *Pump) SetDestLimit(dest string, limit int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.destLimit[dest] = limit
+	p.dispatchLocked()
+}
+
+// Take claims the result of a completed call, removing it from the result
+// table. ok is false while the call is still pending.
+func (p *Pump) Take(id types.CallID) (CallResult, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.done[id] {
+		return CallResult{}, false
+	}
+	res := p.results[id]
+	delete(p.results, id)
+	delete(p.done, id)
+	return res, true
+}
+
+// AwaitAny blocks until at least one of the given pending calls has
+// completed and returns its id. It is the producer/consumer handshake of
+// Section 4.1: each completing pump call signals waiting ReqSyncs.
+func (p *Pump) AwaitAny(ids map[types.CallID]bool) (types.CallID, error) {
+	if len(ids) == 0 {
+		return 0, fmt.Errorf("AwaitAny with no pending calls")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for id := range ids {
+			if p.done[id] {
+				return id, nil
+			}
+		}
+		if p.closed {
+			return 0, fmt.Errorf("request pump closed while %d calls pending", len(ids))
+		}
+		p.cond.Wait()
+	}
+}
+
+// Discard abandons interest in a call (e.g. the query errored elsewhere);
+// a completed result is dropped, a pending call completes into the void
+// and is dropped on the next Discard/Take sweep.
+func (p *Pump) Discard(id types.CallID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.results, id)
+	delete(p.done, id)
+}
+
+// Close wakes all waiters with an error; it does not cancel in-flight
+// calls (they complete into the result table and are garbage).
+func (p *Pump) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+}
+
+// Stats reports the pump's counters.
+type Stats struct {
+	// Registered counts every Register call.
+	Registered int64
+	// CacheHits counts registrations served instantly from the cache.
+	CacheHits int64
+	// Coalesced counts registrations piggybacked on an identical
+	// in-flight call.
+	Coalesced int64
+	// Started counts executions actually dispatched to the network.
+	Started int64
+	// Completed counts finished executions.
+	Completed int64
+	// MaxActive is the peak number of concurrently running calls.
+	MaxActive int
+}
+
+// Stats returns a snapshot of the pump's counters.
+func (p *Pump) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Registered: p.registered,
+		CacheHits:  p.cacheHits,
+		Coalesced:  p.coalesced,
+		Started:    p.started,
+		Completed:  p.completed,
+		MaxActive:  p.maxActive,
+	}
+}
+
+// ResetStats zeroes the counters between experiment runs.
+func (p *Pump) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.registered, p.cacheHits, p.coalesced, p.started, p.completed, p.maxActive = 0, 0, 0, 0, 0, 0
+}

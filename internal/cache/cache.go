@@ -1,0 +1,109 @@
+// Package cache provides a concurrency-safe LRU cache for external search
+// results. Caching expensive external methods is the [HN96] technique the
+// paper cites as "important for avoiding repeated external calls" — e.g.
+// in the Figure 7 plan, where a cross-product placed below a dependent
+// join would otherwise send |R| identical calls per Sig.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Cache is a fixed-capacity LRU map from call keys to result rows.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	items  map[string]*list.Element
+	lru    *list.List // of *entry; front = most recently used
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	key  string
+	rows []types.Tuple
+}
+
+// New creates a cache holding up to capacity entries; capacity <= 0
+// disables caching (every Get misses, Put is a no-op).
+func New(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		items: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// Get returns the cached rows for key.
+func (c *Cache) Get(key string) ([]types.Tuple, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).rows, true
+}
+
+// Put stores rows under key, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) Put(key string, rows []types.Tuple) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).rows = rows
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&entry{key: key, rows: rows})
+	c.items[key] = el
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns hit/miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[string]*list.Element)
+	c.lru = list.New()
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func rows(vals ...int64) []types.Tuple {
+	out := make([]types.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = types.Tuple{types.Int(v)}
+	}
+	return out
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("k"); ok {
+		t.Error("empty cache should miss")
+	}
+	c.Put("k", rows(1, 2))
+	got, ok := c.Get("k")
+	if !ok || len(got) != 2 || got[0][0].I != 1 {
+		t.Errorf("get: %v %v", got, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats: %d/%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), rows(int64(i)))
+	}
+	c.Get("k0") // refresh k0
+	c.Put("k3", rows(3))
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted (least recently used)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("len: %d", c.Len())
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	c := New(2)
+	c.Put("k", rows(1))
+	c.Put("k", rows(2, 3))
+	got, _ := c.Get("k")
+	if len(got) != 2 {
+		t.Errorf("overwrite: %v", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len after overwrite: %d", c.Len())
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	for _, c := range []*Cache{New(0), New(-1), nil} {
+		c.Put("k", rows(1))
+		if _, ok := c.Get("k"); ok {
+			t.Error("disabled cache should never hit")
+		}
+		if c.Len() != 0 {
+			t.Error("disabled cache length")
+		}
+		c.Reset() // must not panic
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(4)
+	c.Put("k", rows(1))
+	c.Get("k")
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("reset should clear")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("reset should clear stats")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				if i%2 == 0 {
+					c.Put(k, rows(int64(i)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/search"
+	"repro/internal/types"
+	"repro/internal/websim"
+)
+
+// newTestDB opens a DB over a temp dir with zero-latency engines and the
+// States table loaded.
+func newTestDB(t testing.TB, async bool) *DB {
+	t.Helper()
+	db, err := Open(Config{Dir: t.TempDir(), Async: async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	corpus := websim.Default()
+	db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), search.ZeroLatency(), 1), "AV")
+	db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), search.ZeroLatency(), 2), "G")
+	if _, err := db.Exec(`CREATE TABLE States (Name VARCHAR, Population INT, Capital VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.Catalog().Get("States")
+	for _, s := range datasets.States {
+		if _, err := tab.Insert(types.Tuple{types.Str(s.Name), types.Int(s.Population), types.Str(s.Capital)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSmokeQuery1(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			db := newTestDB(t, async)
+			res, err := db.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 50 {
+				t.Fatalf("want 50 rows, got %d", len(res.Rows))
+			}
+			want := []string{"California", "Washington", "New York", "Texas", "Michigan"}
+			for i, w := range want {
+				if got := res.Rows[i][0].AsString(); got != w {
+					t.Errorf("rank %d: got %s, want %s", i+1, got, w)
+				}
+			}
+			exp, err := db.Explain(`SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log("\n" + exp)
+		})
+	}
+}

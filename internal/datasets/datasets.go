@@ -1,0 +1,152 @@
+// Package datasets embeds the small reference relations the WSQ/DSQ paper
+// queries: the 50 U.S. states with 1998 census population estimates and
+// capitals (Section 3.1), the 37 ACM Special Interest Groups (Section 4.1),
+// a table of computer-science fields (Section 4.5, Example 3), and a movies
+// table used by the DSQ sketch in Section 1. It also carries the pools of
+// template constants used by the Table 1 experiments.
+package datasets
+
+// State is one row of the States(Name, Population, Capital) table.
+type State struct {
+	Name       string
+	Population int64 // 1998 U.S. Census Bureau estimate
+	Capital    string
+}
+
+// States lists the 50 U.S. states with 1998 population estimates, as used
+// by Queries 1-5 of the paper.
+var States = []State{
+	{"Alabama", 4352000, "Montgomery"},
+	{"Alaska", 614010, "Juneau"},
+	{"Arizona", 4669000, "Phoenix"},
+	{"Arkansas", 2538000, "Little Rock"},
+	{"California", 32667000, "Sacramento"},
+	{"Colorado", 3971000, "Denver"},
+	{"Connecticut", 3274000, "Hartford"},
+	{"Delaware", 744066, "Dover"},
+	{"Florida", 14916000, "Tallahassee"},
+	{"Georgia", 7642000, "Atlanta"},
+	{"Hawaii", 1193000, "Honolulu"},
+	{"Idaho", 1229000, "Boise"},
+	{"Illinois", 12045000, "Springfield"},
+	{"Indiana", 5899000, "Indianapolis"},
+	{"Iowa", 2862000, "Des Moines"},
+	{"Kansas", 2629000, "Topeka"},
+	{"Kentucky", 3936000, "Frankfort"},
+	{"Louisiana", 4369000, "Baton Rouge"},
+	{"Maine", 1244000, "Augusta"},
+	{"Maryland", 5135000, "Annapolis"},
+	{"Massachusetts", 6147000, "Boston"},
+	{"Michigan", 9817000, "Lansing"},
+	{"Minnesota", 4725000, "Saint Paul"},
+	{"Mississippi", 2752000, "Jackson"},
+	{"Missouri", 5439000, "Jefferson City"},
+	{"Montana", 880453, "Helena"},
+	{"Nebraska", 1663000, "Lincoln"},
+	{"Nevada", 1747000, "Carson City"},
+	{"New Hampshire", 1185000, "Concord"},
+	{"New Jersey", 8115000, "Trenton"},
+	{"New Mexico", 1737000, "Santa Fe"},
+	{"New York", 18175000, "Albany"},
+	{"North Carolina", 7546000, "Raleigh"},
+	{"North Dakota", 638244, "Bismarck"},
+	{"Ohio", 11209000, "Columbus"},
+	{"Oklahoma", 3347000, "Oklahoma City"},
+	{"Oregon", 3282000, "Salem"},
+	{"Pennsylvania", 12001000, "Harrisburg"},
+	{"Rhode Island", 988480, "Providence"},
+	{"South Carolina", 3836000, "Columbia"},
+	{"South Dakota", 738171, "Pierre"},
+	{"Tennessee", 5431000, "Nashville"},
+	{"Texas", 19760000, "Austin"},
+	{"Utah", 2100000, "Salt Lake City"},
+	{"Vermont", 590883, "Montpelier"},
+	{"Virginia", 6791000, "Richmond"},
+	{"Washington", 5689000, "Olympia"},
+	{"West Virginia", 1811000, "Charleston"},
+	{"Wisconsin", 5224000, "Madison"},
+	{"Wyoming", 480907, "Cheyenne"},
+}
+
+// Sigs lists the 37 ACM Special Interest Groups as of 1999 (Section 4.1:
+// "37 tuples for the 37 ACM Sigs").
+var Sigs = []string{
+	"SIGACT", "SIGAda", "SIGAPL", "SIGAPP", "SIGARCH", "SIGART", "SIGBIO",
+	"SIGCAPH", "SIGCAS", "SIGCHI", "SIGCOMM", "SIGCPR", "SIGCSE", "SIGCUE",
+	"SIGDA", "SIGDOC", "SIGecom", "SIGGRAPH", "SIGGROUP", "SIGIR", "SIGKDD",
+	"SIGMETRICS", "SIGMICRO", "SIGMIS", "SIGMOBILE", "SIGMOD", "SIGMM",
+	"SIGOPS", "SIGPLAN", "SIGSAC", "SIGSAM", "SIGSIM", "SIGSOFT", "SIGSOUND",
+	"SIGUCCS", "SIGWEB", "SIGNUM",
+}
+
+// KnuthSigs are the SIGs the paper reports as co-occurring with "Knuth" on
+// the Web, in rank order; all other SIGs have Count = 0 (Section 4.1,
+// footnote 3).
+var KnuthSigs = []string{
+	"SIGACT", "SIGPLAN", "SIGGRAPH", "SIGMOD", "SIGCOMM", "SIGSAM",
+}
+
+// CSFields is the CSFields(Name) table of Section 4.5, Example 3.
+var CSFields = []string{
+	"databases", "operating systems", "artificial intelligence",
+	"computer graphics", "networking", "programming languages",
+	"software engineering", "theory of computation", "human computer interaction",
+	"computer architecture", "information retrieval", "machine learning",
+	"distributed systems", "compilers", "computational geometry",
+}
+
+// Movies is a small movie relation used by the DSQ example ("an underwater
+// thriller filmed in Florida", Section 1).
+var Movies = []string{
+	"The Abyss", "Jaws", "Titanic", "The Deep", "Waterworld",
+	"Thunderball", "Flipper", "Free Willy", "Sphere", "The Big Blue",
+	"Open Water", "Into the Blue", "Cocoon", "Splash", "20000 Leagues Under the Sea",
+	"The Firm", "Fargo", "Casablanca", "Chinatown", "Top Gun",
+	"Apollo 13", "Twister", "Dances with Wolves", "Forrest Gump", "Rocky",
+}
+
+// ScubaStates are the states the synthetic corpus correlates with the
+// phrase "scuba diving", strongest first.
+var ScubaStates = []string{"Florida", "Hawaii", "California"}
+
+// ScubaMovies are the movies the synthetic corpus correlates with the
+// phrase "scuba diving", strongest first.
+var ScubaMovies = []string{"The Deep", "Open Water", "The Abyss", "Into the Blue"}
+
+// TemplateConstants is the pool of common constants used to instantiate
+// query templates in the Table 1 experiments ("computer", "beaches",
+// "crime", "politics", "frogs", etc. — Section 5).
+var TemplateConstants = []string{
+	"computer", "beaches", "crime", "politics", "frogs",
+	"weather", "music", "football", "hiking", "museums",
+	"agriculture", "technology", "history", "tourism", "wildlife",
+	"education", "mountains", "rivers", "festivals", "industry",
+	"fishing", "camping", "universities", "lakes", "deserts",
+	"forests", "economy", "elections", "traffic", "recycling",
+	"astronomy", "gardens",
+}
+
+// FourCornersStates are the four states meeting at the Four Corners
+// monument, in the count order the paper reports for Query 3.
+var FourCornersStates = []string{"Colorado", "New Mexico", "Arizona", "Utah"}
+
+// CommonWordCapitals are state capitals that double as common words or
+// names on the Web; the paper's Query 4 finds these capitals out-counting
+// their states (Atlanta, Lincoln, Boston, Jackson, Pierre, Columbia).
+var CommonWordCapitals = []string{
+	"Atlanta", "Lincoln", "Boston", "Jackson", "Pierre", "Columbia",
+}
+
+// Query6States are the states for which the paper's Query 6 found a top-5
+// URL that AltaVista and Google agreed on (exactly four states).
+var Query6States = []string{"Indiana", "Louisiana", "Minnesota", "Wyoming"}
+
+// StateByName returns the state record with the given name.
+func StateByName(name string) (State, bool) {
+	for _, s := range States {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return State{}, false
+}

@@ -1,0 +1,111 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatesComplete(t *testing.T) {
+	if len(States) != 50 {
+		t.Fatalf("want 50 states, got %d", len(States))
+	}
+	seen := make(map[string]bool)
+	for _, s := range States {
+		if s.Name == "" || s.Capital == "" {
+			t.Errorf("incomplete state: %+v", s)
+		}
+		if s.Population < 400_000 || s.Population > 40_000_000 {
+			t.Errorf("%s: implausible 1998 population %d", s.Name, s.Population)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate state %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	// Spot checks against the paper's sources.
+	ca, _ := StateByName("California")
+	if ca.Population != 32667000 || ca.Capital != "Sacramento" {
+		t.Errorf("California: %+v", ca)
+	}
+	if _, ok := StateByName("Atlantis"); ok {
+		t.Error("unknown state lookup")
+	}
+}
+
+func TestSigsCount(t *testing.T) {
+	// "For this small data set—37 tuples for the 37 ACM Sigs" (Section 4.1).
+	if len(Sigs) != 37 {
+		t.Fatalf("want 37 SIGs, got %d", len(Sigs))
+	}
+	seen := make(map[string]bool)
+	for _, s := range Sigs {
+		if !strings.HasPrefix(strings.ToUpper(s), "SIG") {
+			t.Errorf("odd SIG name %q", s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate SIG %s", s)
+		}
+		seen[s] = true
+	}
+	// The Knuth ranking (paper footnote 3) must be a subset of Sigs.
+	for _, k := range KnuthSigs {
+		if !seen[k] {
+			t.Errorf("KnuthSigs entry %s is not a SIG", k)
+		}
+	}
+}
+
+func TestCrossReferences(t *testing.T) {
+	byName := make(map[string]bool)
+	for _, s := range States {
+		byName[s.Name] = true
+	}
+	for _, s := range FourCornersStates {
+		if !byName[s] {
+			t.Errorf("four-corners state %s unknown", s)
+		}
+	}
+	for _, s := range Query6States {
+		if !byName[s] {
+			t.Errorf("query-6 state %s unknown", s)
+		}
+	}
+	for _, s := range ScubaStates {
+		if !byName[s] {
+			t.Errorf("scuba state %s unknown", s)
+		}
+	}
+	capitals := make(map[string]bool)
+	for _, s := range States {
+		capitals[s.Capital] = true
+	}
+	for _, c := range CommonWordCapitals {
+		if !capitals[c] {
+			t.Errorf("common-word capital %s unknown", c)
+		}
+	}
+	movies := make(map[string]bool)
+	for _, m := range Movies {
+		movies[m] = true
+	}
+	for _, m := range ScubaMovies {
+		if !movies[m] {
+			t.Errorf("scuba movie %s unknown", m)
+		}
+	}
+}
+
+func TestTemplateConstantsPool(t *testing.T) {
+	// Table 1 needs 2 runs x 8 instances of template 2 with V1 != V2:
+	// 32 distinct constants.
+	if len(TemplateConstants) < 32 {
+		t.Fatalf("constant pool too small: %d", len(TemplateConstants))
+	}
+	seen := make(map[string]bool)
+	for _, c := range TemplateConstants {
+		if seen[c] {
+			t.Errorf("duplicate constant %q", c)
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,214 @@
+// Package dsq implements Database-Supported Web Queries, the converse
+// direction sketched in Section 1 of the paper: given a Web keyword
+// phrase, DSQ "uses the Web to correlate that phrase with terms in the
+// known database" — ranking the values of designated database columns by
+// how often they co-occur with the phrase on the Web, and finding
+// cross-table pairs (e.g. state/movie pairs near "scuba diving").
+//
+// DSQ is built entirely on the WSQ machinery: it generates SQL over the
+// WebCount virtual table and executes it through the same engine, so the
+// many WebCount calls it needs are overlapped by asynchronous iteration.
+package dsq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// TermSource designates one database column whose values are candidate
+// correlation terms, e.g. {Table: "States", Column: "Name"}.
+type TermSource struct {
+	Table  string
+	Column string
+}
+
+// Label returns a display label for the source.
+func (s TermSource) Label() string { return s.Table + "." + s.Column }
+
+// Correlation is one term (or term pair) with its Web co-occurrence count.
+type Correlation struct {
+	Terms []string
+	Count int64
+}
+
+// Report is the result of explaining one phrase against the database.
+type Report struct {
+	Phrase string
+	// Singles maps each term source label to its ranked correlations.
+	Singles map[string][]Correlation
+	// Pairs holds ranked cross-source term pairs.
+	Pairs []Correlation
+}
+
+// Explainer runs DSQ over an open WSQ database.
+type Explainer struct {
+	DB *core.DB
+	// TopK bounds how many top terms per source seed the pair search
+	// (pairwise counts are quadratic; the paper's DSQ sketch correlates
+	// top terms only). Default 4.
+	TopK int
+	// MinCount filters noise correlations. Default 1.
+	MinCount int64
+}
+
+// New builds an Explainer over db.
+func New(db *core.DB) *Explainer {
+	return &Explainer{DB: db, TopK: 4, MinCount: 1}
+}
+
+// Explain correlates the phrase with every term source, then with pairs of
+// top terms across the first two sources.
+func (e *Explainer) Explain(phrase string, sources ...TermSource) (*Report, error) {
+	if strings.ContainsAny(phrase, "'") {
+		return nil, fmt.Errorf("phrase must not contain quotes")
+	}
+	rep := &Report{Phrase: phrase, Singles: make(map[string][]Correlation)}
+	for _, src := range sources {
+		ranked, err := e.correlateSingle(phrase, src)
+		if err != nil {
+			return nil, fmt.Errorf("correlate %s: %w", src.Label(), err)
+		}
+		rep.Singles[src.Label()] = ranked
+	}
+	if len(sources) >= 2 {
+		pairs, err := e.correlatePairs(phrase, sources[0], sources[1], rep)
+		if err != nil {
+			return nil, err
+		}
+		rep.Pairs = pairs
+	}
+	return rep, nil
+}
+
+// correlateSingle ranks one source's terms by co-occurrence with the
+// phrase, via a single WSQ query:
+//
+//	SELECT <col>, Count FROM <table>, WebCount
+//	WHERE <col> = T1 AND T2 = '<phrase>' ORDER BY Count DESC
+func (e *Explainer) correlateSingle(phrase string, src TermSource) ([]Correlation, error) {
+	q := fmt.Sprintf(
+		`SELECT %s, Count FROM %s, WebCount WHERE %s = T1 AND T2 = '%s' ORDER BY Count DESC`,
+		src.Column, src.Table, src.Column, phrase)
+	res, err := e.DB.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []Correlation
+	for _, row := range res.Rows {
+		n, err := row[1].AsInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < e.MinCount {
+			continue
+		}
+		out = append(out, Correlation{Terms: []string{row[0].AsString()}, Count: n})
+	}
+	return out, nil
+}
+
+// correlatePairs counts phrase co-occurrence for the cross product of the
+// two sources' top terms, again through WebCount (T1 near T2 near T3):
+//
+//	SELECT A.<c>, B.<c>, Count FROM <A>, <B>, WebCount
+//	WHERE A.<c> = T1 AND B.<c> = T2 AND T3 = '<phrase>'
+//
+// Seeding with each source's top-K single terms keeps the number of Web
+// calls linear in K².
+func (e *Explainer) correlatePairs(phrase string, a, b TermSource, rep *Report) ([]Correlation, error) {
+	topA := topTerms(rep.Singles[a.Label()], e.TopK)
+	topB := topTerms(rep.Singles[b.Label()], e.TopK)
+	if len(topA) == 0 || len(topB) == 0 {
+		return nil, nil
+	}
+	// Stage the seed terms in a scratch pair of tables so the pair search
+	// remains a single WSQ query (and thus one concurrent async batch).
+	if err := e.stageSeeds("dsq_seed_a", topA); err != nil {
+		return nil, err
+	}
+	defer e.DB.Exec(`DROP TABLE dsq_seed_a`)
+	if err := e.stageSeeds("dsq_seed_b", topB); err != nil {
+		return nil, err
+	}
+	defer e.DB.Exec(`DROP TABLE dsq_seed_b`)
+
+	q := fmt.Sprintf(
+		`SELECT A.Term, B.Term, Count FROM dsq_seed_a A, dsq_seed_b B, WebCount
+		 WHERE A.Term = T1 AND B.Term = T2 AND T3 = '%s' ORDER BY Count DESC`, phrase)
+	res, err := e.DB.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []Correlation
+	for _, row := range res.Rows {
+		n, err := row[2].AsInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < e.MinCount {
+			continue
+		}
+		out = append(out, Correlation{Terms: []string{row[0].AsString(), row[1].AsString()}, Count: n})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out, nil
+}
+
+func (e *Explainer) stageSeeds(table string, terms []string) error {
+	e.DB.Exec(`DROP TABLE ` + table) // ignore "does not exist"
+	if _, err := e.DB.Exec(`CREATE TABLE ` + table + ` (Term VARCHAR)`); err != nil {
+		return err
+	}
+	t, _ := e.DB.Catalog().Get(table)
+	for _, term := range terms {
+		if _, err := t.Insert(types.Tuple{types.Str(term)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func topTerms(ranked []Correlation, k int) []string {
+	var out []string
+	for i, c := range ranked {
+		if i >= k {
+			break
+		}
+		out = append(out, c.Terms[0])
+	}
+	return out
+}
+
+// Format renders the report as text.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DSQ: explaining %q\n", r.Phrase)
+	labels := make([]string, 0, len(r.Singles))
+	for l := range r.Singles {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "\n%s near %q:\n", l, r.Phrase)
+		for i, c := range r.Singles[l] {
+			if i >= 10 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-30s %d\n", c.Terms[0], c.Count)
+		}
+	}
+	if len(r.Pairs) > 0 {
+		fmt.Fprintf(&b, "\npairs near %q:\n", r.Phrase)
+		for i, c := range r.Pairs {
+			if i >= 10 {
+				break
+			}
+			fmt.Fprintf(&b, "  %-45s %d\n", strings.Join(c.Terms, " / "), c.Count)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package dsq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/harness"
+	"repro/internal/search"
+)
+
+func newDB(t *testing.T) *core.DB {
+	t.Helper()
+	env, err := harness.NewEnv(harness.Options{Dir: t.TempDir(), Latency: search.ZeroLatency()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env.DB
+}
+
+func TestDSQScubaCorrelation(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	rep, err := ex.Explain("scuba diving",
+		TermSource{Table: "States", Column: "Name"},
+		TermSource{Table: "Movies", Column: "Title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := rep.Singles["States.Name"]
+	if len(states) < 3 {
+		t.Fatalf("state correlations: %v", states)
+	}
+	// The seeded corpus correlates Florida > Hawaii > California.
+	for i, want := range datasets.ScubaStates {
+		if states[i].Terms[0] != want {
+			t.Errorf("state rank %d: %s, want %s", i+1, states[i].Terms[0], want)
+		}
+	}
+	// Ranked descending.
+	for i := 1; i < len(states); i++ {
+		if states[i-1].Count < states[i].Count {
+			t.Error("state correlations not sorted")
+		}
+	}
+	movies := rep.Singles["Movies.Title"]
+	if len(movies) == 0 {
+		t.Fatal("no movie correlations")
+	}
+	topMovies := make(map[string]bool)
+	for i := 0; i < 4 && i < len(movies); i++ {
+		topMovies[movies[i].Terms[0]] = true
+	}
+	found := 0
+	for _, m := range datasets.ScubaMovies {
+		if topMovies[m] {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Errorf("scuba movies not in top-4: %v", movies[:4])
+	}
+	// Pairs: state/movie/scuba-diving triples exist ("an underwater
+	// thriller filmed in Florida").
+	if len(rep.Pairs) == 0 {
+		t.Fatal("no pair correlations")
+	}
+	for _, p := range rep.Pairs {
+		if len(p.Terms) != 2 || p.Count <= 0 {
+			t.Errorf("bad pair: %+v", p)
+		}
+	}
+}
+
+func TestDSQSingleSource(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	rep, err := ex.Explain("four corners", TermSource{Table: "States", Column: "Name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pairs) != 0 {
+		t.Error("single source should produce no pairs")
+	}
+	states := rep.Singles["States.Name"]
+	if len(states) == 0 || states[0].Terms[0] != "Colorado" {
+		t.Errorf("four corners top: %v", states)
+	}
+}
+
+func TestDSQSeedTablesCleanedUp(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	if _, err := ex.Explain("scuba diving",
+		TermSource{Table: "States", Column: "Name"},
+		TermSource{Table: "Movies", Column: "Title"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.Catalog().TableNames() {
+		if strings.HasPrefix(name, "dsq_seed") {
+			t.Errorf("scratch table %s left behind", name)
+		}
+	}
+}
+
+func TestDSQValidation(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	if _, err := ex.Explain("bad'phrase", TermSource{Table: "States", Column: "Name"}); err == nil {
+		t.Error("quoted phrase should be rejected")
+	}
+	if _, err := ex.Explain("x", TermSource{Table: "Missing", Column: "Name"}); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	rep := &Report{
+		Phrase: "scuba diving",
+		Singles: map[string][]Correlation{
+			"States.Name": {{Terms: []string{"Florida"}, Count: 39}},
+		},
+		Pairs: []Correlation{{Terms: []string{"Florida", "The Deep"}, Count: 4}},
+	}
+	out := rep.Format()
+	for _, want := range []string{"scuba diving", "Florida", "39", "Florida / The Deep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+func benchRows(n int) []types.Tuple {
+	out := make([]types.Tuple, n)
+	for i := range out {
+		out[i] = types.Tuple{types.Int(int64(i % 97)), types.Str(fmt.Sprintf("row-%d", i))}
+	}
+	return out
+}
+
+func BenchmarkFilterThroughput(b *testing.B) {
+	a := intCol("T", "A")
+	s := schema.New(a, strCol("T", "B"))
+	scan := NewValuesScan(s, benchRows(10_000))
+	f := NewFilter(scan, expr.NewCmp(expr.LT, expr.NewColRef(a), expr.NewLiteral(types.Int(50))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(NewContext(), f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNestedLoopJoin100x100(b *testing.B) {
+	la := intCol("L", "A")
+	ra := intCol("R", "A")
+	left := NewValuesScan(schema.New(la), benchRows(100)[:100])
+	right := NewValuesScan(schema.New(ra), benchRows(100)[:100])
+	// Trim to single column.
+	lrows := make([]types.Tuple, 100)
+	rrows := make([]types.Tuple, 100)
+	for i := range lrows {
+		lrows[i] = types.Tuple{types.Int(int64(i))}
+		rrows[i] = types.Tuple{types.Int(int64(i))}
+	}
+	left.Rows, right.Rows = lrows, rrows
+	j := NewNestedLoopJoin(left, right, expr.NewCmp(expr.EQ, expr.NewColRef(la), expr.NewColRef(ra)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Run(NewContext(), j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 100 {
+			b.Fatalf("rows: %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkSort10k(b *testing.B) {
+	a := intCol("T", "A")
+	s := schema.New(a, strCol("T", "B"))
+	scan := NewValuesScan(s, benchRows(10_000))
+	srt := NewSort(scan, []SortKey{{Expr: expr.NewColRef(a), Desc: true}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(NewContext(), srt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregate10k(b *testing.B) {
+	a := intCol("T", "A")
+	s := schema.New(a, strCol("T", "B"))
+	scan := NewValuesScan(s, benchRows(10_000))
+	agg := NewAggregate(scan,
+		[]expr.Expr{expr.NewColRef(a)}, []schema.Column{a},
+		[]AggSpec{{Func: AggCountStar, OutCol: intCol("", "n")}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Run(NewContext(), agg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 97 {
+			b.Fatalf("groups: %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkDependentJoinRebind(b *testing.B) {
+	// Measures the per-binding overhead of the dependent-join protocol
+	// (frame push/pop + right-subtree re-open) at zero call latency.
+	term := strCol("L", "Term")
+	var lrows []types.Tuple
+	for i := 0; i < 500; i++ {
+		lrows = append(lrows, types.Tuple{types.Str(fmt.Sprintf("t%d", i))})
+	}
+	left := NewValuesScan(schema.New(term), lrows)
+	src := &fakeSource{name: "F", rowsFor: func(arg string) []types.Tuple {
+		return []types.Tuple{{types.Int(int64(len(arg)))}}
+	}}
+	ev := NewEVScan(src, []expr.Expr{expr.NewColRef(term)}, fakeSchema("F"))
+	dj := NewDependentJoin(left, ev, "")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Run(NewContext(), dj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 500 {
+			b.Fatalf("rows: %d", len(rows))
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// ExternalSource abstracts the remote call behind a virtual table scan.
+// Package vtab provides implementations for WebCount, WebPages, and
+// WebFetch; the executor only needs to know how to invoke the call and how
+// its results align with the scan's output schema.
+type ExternalSource interface {
+	// Name identifies the virtual table instance, e.g. "WebPages_AV".
+	Name() string
+	// Destination identifies the external service for the request pump's
+	// per-destination concurrency limits, e.g. "altavista".
+	Destination() string
+	// NumEcho is the count of leading output columns that simply echo the
+	// call's argument values (SearchExp, T1..Tn). The remaining output
+	// columns are supplied by the call's result rows.
+	NumEcho() int
+	// CacheKey returns a canonical key for memoizing the call ([HN96]).
+	CacheKey(args []types.Value) string
+	// Call performs the (high-latency) external request. Result rows carry
+	// only the non-echo output columns, in schema order.
+	Call(args []types.Value) ([]types.Tuple, error)
+}
+
+// EVScan is the synchronous external virtual table scan of Section 4.1:
+// each Open evaluates its parameter expressions against the correlated
+// bindings supplied by an enclosing dependent join, performs the external
+// call, and streams the resulting tuples. The query processor is idle for
+// the full latency of every call — this is precisely the behavior
+// asynchronous iteration (package async) replaces.
+type EVScan struct {
+	Source ExternalSource
+	// Inputs supplies the call arguments. The first NumEcho() of them
+	// correspond to echoed output columns; any further inputs (e.g. the
+	// WebPages rank limit) parameterize the call without being echoed.
+	Inputs []expr.Expr
+	Out    *schema.Schema
+	// Cache, when non-nil, memoizes call results across Opens ([HN96]).
+	Cache ResultCache
+
+	rows []types.Tuple
+	pos  int
+}
+
+// ResultCache memoizes external call results.
+type ResultCache interface {
+	Get(key string) ([]types.Tuple, bool)
+	Put(key string, rows []types.Tuple)
+}
+
+// NewEVScan builds a synchronous external scan.
+func NewEVScan(src ExternalSource, inputs []expr.Expr, out *schema.Schema) *EVScan {
+	return &EVScan{Source: src, Inputs: inputs, Out: out}
+}
+
+// Schema implements Operator.
+func (s *EVScan) Schema() *schema.Schema { return s.Out }
+
+// EvalArgs evaluates the scan's parameter expressions against the current
+// correlated bindings. It rejects placeholder arguments: a dependent join
+// whose bindings are still pending must stay below the ReqSync that fills
+// them (the rewriter guarantees this; the check catches rewrite bugs).
+func EvalArgs(name string, inputs []expr.Expr, ctx *Context) ([]types.Value, error) {
+	args := make([]types.Value, len(inputs))
+	for i, in := range inputs {
+		if err := in.Bind(schema.New()); err != nil {
+			return nil, err
+		}
+		v, err := in.Eval(ctx.Env, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s input %d: %w", name, i, err)
+		}
+		if v.IsPlaceholder() {
+			return nil, fmt.Errorf("%s input %d is a pending placeholder; invalid plan rewrite", name, i)
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// Open implements Operator: it performs the external call (or serves it
+// from cache).
+func (s *EVScan) Open(ctx *Context) error {
+	args, err := EvalArgs(s.Source.Name(), s.Inputs, ctx)
+	if err != nil {
+		return err
+	}
+	key := s.Source.CacheKey(args)
+	if s.Cache != nil {
+		if rows, ok := s.Cache.Get(key); ok {
+			s.rows = echoRows(args, s.Source.NumEcho(), rows)
+			s.pos = 0
+			return nil
+		}
+	}
+	ctx.Stats.ExternalCalls++
+	rows, err := s.Source.Call(args)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.Source.Name(), err)
+	}
+	if s.Cache != nil {
+		s.Cache.Put(key, rows)
+	}
+	s.rows = echoRows(args, s.Source.NumEcho(), rows)
+	s.pos = 0
+	return nil
+}
+
+// echoRows prefixes each call result row with the echoed argument values,
+// producing full output-schema tuples.
+func echoRows(args []types.Value, numEcho int, rows []types.Tuple) []types.Tuple {
+	out := make([]types.Tuple, len(rows))
+	for i, r := range rows {
+		t := make(types.Tuple, 0, numEcho+len(r))
+		t = append(t, args[:numEcho]...)
+		t = append(t, r...)
+		out[i] = t
+	}
+	return out
+}
+
+// Next implements Operator.
+func (s *EVScan) Next(ctx *Context) (types.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	if len(t) != s.Out.Len() {
+		return nil, false, fmt.Errorf("%s: result width %d != schema width %d", s.Source.Name(), len(t), s.Out.Len())
+	}
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (s *EVScan) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Children implements Operator.
+func (s *EVScan) Children() []Operator { return nil }
+
+// SetChild implements Operator.
+func (s *EVScan) SetChild(int, Operator) { panic("EVScan has no children") }
+
+// Name implements Operator.
+func (s *EVScan) Name() string { return "EVScan" }
+
+// Describe implements Operator.
+func (s *EVScan) Describe() string { return s.Source.Name() }

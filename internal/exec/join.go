@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// NestedLoopJoin is the engine's only join algorithm, as in Redbase ("the
+// only available join technique is nested-loop join", Section 5). With a
+// nil predicate it degenerates to a cross-product, which is how the async
+// rewriter's join→σ(×) transformation represents rewritten joins.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        expr.Expr // nil for a pure cross-product
+
+	out      *schema.Schema
+	curLeft  types.Tuple
+	leftDone bool
+	opened   bool
+}
+
+// NewNestedLoopJoin builds a theta-join (or cross-product when pred is nil).
+func NewNestedLoopJoin(left, right Operator, pred expr.Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{Left: left, Right: right, Pred: pred}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open(ctx *Context) error {
+	j.out = nil // children may have been swapped by a rewrite
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	j.curLeft = nil
+	j.leftDone = false
+	j.opened = true
+	return bindAll("Join", j.Schema(), j.Pred)
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next(ctx *Context) (types.Tuple, bool, error) {
+	if !j.opened {
+		return nil, false, fmt.Errorf("NestedLoopJoin: Next before Open")
+	}
+	for {
+		if j.curLeft == nil {
+			if j.leftDone {
+				return nil, false, nil
+			}
+			lt, ok, err := j.Left.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.leftDone = true
+				return nil, false, nil
+			}
+			j.curLeft = lt
+			if err := j.Right.Open(ctx); err != nil {
+				return nil, false, err
+			}
+		}
+		rt, ok, err := j.Right.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if err := j.Right.Close(); err != nil {
+				return nil, false, err
+			}
+			j.curLeft = nil
+			continue
+		}
+		joined := j.curLeft.Concat(rt)
+		if j.Pred != nil {
+			v, err := j.Pred.Eval(ctx.Env, joined)
+			if err != nil {
+				return nil, false, fmt.Errorf("Join %s: %w", j.Pred, err)
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		return joined, true, nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	if !j.opened {
+		return nil
+	}
+	j.opened = false
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Children implements Operator.
+func (j *NestedLoopJoin) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+// SetChild implements Operator.
+func (j *NestedLoopJoin) SetChild(i int, op Operator) {
+	switch i {
+	case 0:
+		j.Left = op
+	case 1:
+		j.Right = op
+	default:
+		panic("NestedLoopJoin has two children")
+	}
+	j.out = nil
+}
+
+// Name implements Operator.
+func (j *NestedLoopJoin) Name() string {
+	if j.Pred == nil {
+		return "Cross-Product"
+	}
+	return "Join"
+}
+
+// Describe implements Operator.
+func (j *NestedLoopJoin) Describe() string {
+	if j.Pred == nil {
+		return ""
+	}
+	return j.Pred.String()
+}
+
+// DependentJoin supplies each outer tuple's column values as correlated
+// bindings to its right subtree, then re-opens it — the binding-passing
+// join the paper requires for virtual tables ("the Dependent Join operator
+// requires each GetNext call to its right child to include a binding from
+// its left child", Section 4.1).
+type DependentJoin struct {
+	Left, Right Operator
+	// BindDesc documents the binding for EXPLAIN output, e.g.
+	// "Sigs.Name -> WebCount.T1"; it has no execution role.
+	BindDesc string
+
+	out      *schema.Schema
+	curLeft  types.Tuple
+	leftDone bool
+	framed   bool
+	opened   bool
+	ctx      *Context
+}
+
+// NewDependentJoin builds a dependent join.
+func NewDependentJoin(left, right Operator, bindDesc string) *DependentJoin {
+	return &DependentJoin{Left: left, Right: right, BindDesc: bindDesc}
+}
+
+// Schema implements Operator.
+func (j *DependentJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *DependentJoin) Open(ctx *Context) error {
+	j.out = nil
+	j.popFrame(ctx) // balance a frame left pushed by an interrupted run
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	j.curLeft = nil
+	j.leftDone = false
+	j.opened = true
+	j.ctx = ctx
+	return nil
+}
+
+// popFrame releases the current outer-binding frame if one is pushed.
+func (j *DependentJoin) popFrame(ctx *Context) {
+	if j.framed {
+		ctx.Env.PopFrame()
+		j.framed = false
+	}
+}
+
+// Next implements Operator.
+func (j *DependentJoin) Next(ctx *Context) (types.Tuple, bool, error) {
+	if !j.opened {
+		return nil, false, fmt.Errorf("DependentJoin: Next before Open")
+	}
+	for {
+		if j.curLeft == nil {
+			if j.leftDone {
+				return nil, false, nil
+			}
+			lt, ok, err := j.Left.Next(ctx)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.leftDone = true
+				return nil, false, nil
+			}
+			j.curLeft = lt
+			// Make the outer tuple's values visible as correlated bindings,
+			// then (re-)open the right subtree so it can evaluate its
+			// parameter expressions against them.
+			frame := make(map[schema.AttrID]types.Value, j.Left.Schema().Len())
+			for i, col := range j.Left.Schema().Cols {
+				if i < len(lt) {
+					frame[col.ID] = lt[i]
+				}
+			}
+			ctx.Env.PushFrame(frame)
+			j.framed = true
+			if err := j.Right.Open(ctx); err != nil {
+				j.popFrame(ctx)
+				return nil, false, err
+			}
+		}
+		rt, ok, err := j.Right.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if err := j.Right.Close(); err != nil {
+				return nil, false, err
+			}
+			j.popFrame(ctx)
+			j.curLeft = nil
+			continue
+		}
+		return j.curLeft.Concat(rt), true, nil
+	}
+}
+
+// Close implements Operator.
+func (j *DependentJoin) Close() error {
+	if !j.opened {
+		return nil
+	}
+	j.opened = false
+	j.popFrame(j.ctx) // balance the frame when closed mid-iteration
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Children implements Operator.
+func (j *DependentJoin) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+// SetChild implements Operator.
+func (j *DependentJoin) SetChild(i int, op Operator) {
+	switch i {
+	case 0:
+		j.Left = op
+	case 1:
+		j.Right = op
+	default:
+		panic("DependentJoin has two children")
+	}
+	j.out = nil
+}
+
+// Name implements Operator.
+func (j *DependentJoin) Name() string { return "Dependent Join" }
+
+// Describe implements Operator.
+func (j *DependentJoin) Describe() string { return j.BindDesc }

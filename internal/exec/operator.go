@@ -1,0 +1,140 @@
+// Package exec implements the iterator-based query executor of the WSQ/DSQ
+// reproduction: the classic Open/Next/Close operator protocol ([Gra93], as
+// assumed throughout Section 4 of the paper) with table scans, filters,
+// projections, nested-loop and dependent joins, sorting, aggregation, and
+// external virtual-table scans (EVScan).
+//
+// Operators expose their children for structural rewrites; the
+// asynchronous-iteration rewriter (package async) relies on this to insert,
+// percolate, and consolidate ReqSync operators without the executor knowing
+// anything about asynchrony — exactly the paper's claim that "no other
+// query plan operators need to be modified".
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// Context carries per-execution state shared by all operators of one plan:
+// the correlated-binding environment used by dependent joins and counters
+// for tests and EXPLAIN ANALYZE-style diagnostics.
+type Context struct {
+	Env   *expr.Env
+	Stats Stats
+}
+
+// NewContext returns a fresh execution context.
+func NewContext() *Context {
+	return &Context{Env: &expr.Env{}}
+}
+
+// Stats counts executor events of interest to tests and benchmarks.
+type Stats struct {
+	ExternalCalls int64 // EVScan/AEVScan calls issued
+	TuplesOut     int64 // tuples produced at the root
+}
+
+// Operator is the iterator interface every plan node implements.
+type Operator interface {
+	// Schema describes the operator's output columns.
+	Schema() *schema.Schema
+	// Open prepares the operator for iteration. Operators may be re-opened
+	// after exhaustion (dependent joins re-open their right subtree once
+	// per outer tuple).
+	Open(ctx *Context) error
+	// Next produces the next tuple; ok is false at end of stream.
+	Next(ctx *Context) (t types.Tuple, ok bool, err error)
+	// Close releases resources. Close must be idempotent.
+	Close() error
+	// Children returns the operator's inputs (empty for leaves).
+	Children() []Operator
+	// SetChild replaces the i-th child (used by plan rewrites).
+	SetChild(i int, op Operator)
+	// Name is the operator's display name for EXPLAIN output.
+	Name() string
+	// Describe returns a one-line parameter summary for EXPLAIN output.
+	Describe() string
+}
+
+// Run drains op to completion, returning all produced tuples. It opens and
+// closes the operator.
+func Run(ctx *Context, op Operator) ([]types.Tuple, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, err
+	}
+	var out []types.Tuple
+	for {
+		t, ok, err := op.Next(ctx)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		ctx.Stats.TuplesOut++
+		out = append(out, t)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Explain renders the plan tree, one operator per line, children indented.
+// The output deliberately mirrors the figures of the WSQ/DSQ paper
+// ("Dependent Join", "EVScan", "AEVScan", "ReqSync", ...), so tests can
+// compare generated plans against the paper's.
+func Explain(op Operator) string {
+	var b strings.Builder
+	explainInto(&b, op, 0)
+	return b.String()
+}
+
+func explainInto(b *strings.Builder, op Operator, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(op.Name())
+	if d := op.Describe(); d != "" {
+		b.WriteString(": ")
+		b.WriteString(d)
+	}
+	b.WriteByte('\n')
+	for _, c := range op.Children() {
+		explainInto(b, c, depth+1)
+	}
+}
+
+// Shape returns the nesting structure of a plan as a compact string, e.g.
+// "Sort(ReqSync(DependentJoin(Scan,AEVScan)))". Tests compare shapes
+// against the paper's figures without depending on parameter formatting.
+func Shape(op Operator) string {
+	kids := op.Children()
+	if len(kids) == 0 {
+		return op.Name()
+	}
+	parts := make([]string, len(kids))
+	for i, c := range kids {
+		parts[i] = Shape(c)
+	}
+	return op.Name() + "(" + strings.Join(parts, ",") + ")"
+}
+
+// bindAll binds the expressions against a schema, annotating errors with
+// the operator name.
+func bindAll(name string, s *schema.Schema, exprs ...expr.Expr) error {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if err := e.Bind(s); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

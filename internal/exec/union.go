@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// UnionAll is the bag union: it streams its left input, then its right.
+// Inputs must be positionally compatible; the output carries the left
+// input's attribute identities.
+//
+// UnionAll never clashes with a ReqSync — it neither interprets attribute
+// values nor needs an accurate tuple tally — which is exactly why the
+// paper's percolation step rewrites a clashing set union as "a 'Select
+// Distinct' over a non-clashing bag union operator" (Section 4.5.2). The
+// planner lowers SQL UNION to Distinct(UnionAll(...)) so that rewrite is
+// the plan's natural form.
+type UnionAll struct {
+	Left, Right Operator
+	onRight     bool
+	opened      bool
+}
+
+// NewUnionAll builds a bag union. It validates positional compatibility.
+func NewUnionAll(left, right Operator) (*UnionAll, error) {
+	l, r := left.Schema(), right.Schema()
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("UNION inputs have %d and %d columns", l.Len(), r.Len())
+	}
+	for i := range l.Cols {
+		if l.Cols[i].Type != r.Cols[i].Type {
+			return nil, fmt.Errorf("UNION column %d: %s vs %s",
+				i+1, l.Cols[i].Type, r.Cols[i].Type)
+		}
+	}
+	return &UnionAll{Left: left, Right: right}, nil
+}
+
+// Schema implements Operator: the left input names the output.
+func (u *UnionAll) Schema() *schema.Schema { return u.Left.Schema() }
+
+// Open implements Operator.
+func (u *UnionAll) Open(ctx *Context) error {
+	if err := u.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := u.Right.Open(ctx); err != nil {
+		return err
+	}
+	u.onRight = false
+	u.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next(ctx *Context) (types.Tuple, bool, error) {
+	if !u.opened {
+		return nil, false, fmt.Errorf("UnionAll: Next before Open")
+	}
+	if !u.onRight {
+		t, ok, err := u.Left.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		u.onRight = true
+	}
+	return u.Right.Next(ctx)
+}
+
+// Close implements Operator.
+func (u *UnionAll) Close() error {
+	if !u.opened {
+		return nil
+	}
+	u.opened = false
+	errL := u.Left.Close()
+	errR := u.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Children implements Operator.
+func (u *UnionAll) Children() []Operator { return []Operator{u.Left, u.Right} }
+
+// SetChild implements Operator.
+func (u *UnionAll) SetChild(i int, op Operator) {
+	switch i {
+	case 0:
+		u.Left = op
+	case 1:
+		u.Right = op
+	default:
+		panic("UnionAll has two children")
+	}
+}
+
+// Name implements Operator.
+func (u *UnionAll) Name() string { return "Union All" }
+
+// Describe implements Operator.
+func (u *UnionAll) Describe() string { return "" }

@@ -1,0 +1,720 @@
+// Package plan lowers parsed SQL into executable operator trees.
+//
+// The planner follows the Redbase substrate's conventions (Section 5 of
+// the WSQ/DSQ paper): the FROM-clause order fixes the join order, the only
+// join algorithm is nested loops, and there is no cost-based optimization.
+// Its one sophisticated job is virtual-table binding analysis (Section 3):
+// for each WebCount/WebPages/WebFetch reference it identifies the equality
+// predicates that bind the table's input columns — to constants or to
+// columns of earlier FROM entries — turning them into the parameters of a
+// dependent join over an EVScan, synthesizing the default SearchExp
+// ("%1 near %2 near ... near %n") and the default Rank < 20 guard when the
+// query does not supply them.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/types"
+	"repro/internal/vtab"
+)
+
+// Planner lowers statements against a catalog and a virtual-table registry.
+type Planner struct {
+	Cat   *catalog.Catalog
+	VTabs *vtab.Registry
+	// Cache, when non-nil, memoizes EVScan calls ([HN96]).
+	Cache exec.ResultCache
+	// DefaultRankLimit guards WebPages scans with no Rank predicate
+	// (paper default: Rank < 20).
+	DefaultRankLimit int
+}
+
+// New builds a planner.
+func New(cat *catalog.Catalog, vtabs *vtab.Registry) *Planner {
+	return &Planner{Cat: cat, VTabs: vtabs, DefaultRankLimit: vtab.DefaultRankLimit}
+}
+
+// scope is one FROM entry's resolved schema.
+type scope struct {
+	alias  string
+	schema *schema.Schema
+	// virtual metadata (nil for stored tables)
+	def *vtab.Def
+	// stored table (nil for virtual tables)
+	table *catalog.Table
+}
+
+// PlanSelect lowers a SELECT statement to an operator tree.
+func (p *Planner) PlanSelect(sel *sqlparse.Select) (exec.Operator, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("FROM clause is required")
+	}
+	// Resolve FROM entries.
+	scopes := make([]*scope, 0, len(sel.From))
+	seen := make(map[string]bool)
+	for _, ref := range sel.From {
+		alias := ref.EffectiveAlias()
+		key := strings.ToLower(alias)
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate table alias %s", alias)
+		}
+		seen[key] = true
+		if p.VTabs != nil && p.VTabs.IsVirtual(ref.Table) {
+			def, err := p.VTabs.Resolve(ref.Table)
+			if err != nil {
+				return nil, err
+			}
+			scopes = append(scopes, &scope{alias: alias, schema: def.InstantiateSchema(alias), def: def})
+			continue
+		}
+		t, ok := p.Cat.Get(ref.Table)
+		if !ok {
+			return nil, fmt.Errorf("unknown table %s", ref.Table)
+		}
+		scopes = append(scopes, &scope{alias: alias, schema: t.InstantiateSchema(alias), table: t})
+	}
+
+	// Lower WHERE into conjuncts.
+	var conjuncts []conjunct
+	if sel.Where != nil {
+		w, err := p.lowerExpr(sel.Where, scopes)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range expr.SplitConjuncts(w) {
+			conjuncts = append(conjuncts, conjunct{e: c})
+		}
+	}
+
+	// Build the join tree in FROM order.
+	var cur exec.Operator
+	avail := make(map[schema.AttrID]bool)
+	for i, sc := range scopes {
+		var err error
+		cur, err = p.addFromEntry(cur, sc, i, scopes, conjuncts, avail)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range sc.schema.Cols {
+			avail[col.ID] = true
+		}
+		// Attach every now-evaluable, unconsumed conjunct.
+		var pending []expr.Expr
+		for k := range conjuncts {
+			c := &conjuncts[k]
+			if c.consumed {
+				continue
+			}
+			if attrsSubset(expr.Attrs(c.e), avail) {
+				pending = append(pending, c.e)
+				c.consumed = true
+			}
+		}
+		if len(pending) > 0 {
+			cur = exec.NewFilter(cur, expr.NewAnd(pending...))
+		}
+	}
+	for _, c := range conjuncts {
+		if !c.consumed {
+			return nil, fmt.Errorf("predicate %s references unknown columns", c.e)
+		}
+	}
+
+	// Aggregation.
+	items := sel.Items
+	hasAgg := len(sel.GroupBy) > 0
+	for _, it := range items {
+		if _, ok := it.Expr.(*sqlparse.FuncCall); ok {
+			hasAgg = true
+		}
+	}
+	var projSchemaSrc *schema.Schema // schema the projection resolves against
+	if hasAgg {
+		if sel.Star {
+			return nil, fmt.Errorf("SELECT * cannot be combined with aggregation")
+		}
+		var err error
+		cur, err = p.buildAggregate(cur, sel, scopes, &items)
+		if err != nil {
+			return nil, err
+		}
+		projSchemaSrc = cur.Schema()
+	}
+
+	// Projection.
+	var outSchema *schema.Schema
+	if sel.Star {
+		outSchema = cur.Schema()
+	} else {
+		exprs := make([]expr.Expr, 0, len(items))
+		cols := make([]schema.Column, 0, len(items))
+		for i, it := range items {
+			var e expr.Expr
+			var err error
+			if hasAgg {
+				e, err = lowerAgainstSchema(it.Expr, projSchemaSrc)
+			} else {
+				e, err = p.lowerExpr(it.Expr, scopes)
+			}
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			cols = append(cols, projectionColumn(e, it, i))
+		}
+		outSchema = schema.New(cols...)
+		cur = exec.NewProject(cur, exprs, outSchema)
+	}
+
+	// DISTINCT.
+	if sel.Distinct {
+		cur = exec.NewDistinct(cur)
+	}
+
+	// ORDER BY (resolved against the projection's output, so aliases work).
+	if len(sel.OrderBy) > 0 {
+		keys := make([]exec.SortKey, 0, len(sel.OrderBy))
+		for _, oi := range sel.OrderBy {
+			e, err := lowerAgainstSchema(oi.Expr, outSchema)
+			if err != nil {
+				return nil, fmt.Errorf("ORDER BY: %w", err)
+			}
+			keys = append(keys, exec.SortKey{Expr: e, Desc: oi.Desc})
+		}
+		cur = exec.NewSort(cur, keys)
+	}
+
+	// LIMIT.
+	if sel.Limit >= 0 {
+		cur = exec.NewLimit(cur, sel.Limit)
+	}
+	return cur, nil
+}
+
+// PlanUnion lowers a UNION of SELECTs. SQL UNION (without ALL) is planned
+// as Distinct over a bag union — deliberately, because duplicate
+// elimination clashes with ReqSync percolation while the bag union does
+// not (Section 4.5.2 of the paper); the async rewriter then produces the
+// paper's "Select Distinct over a non-clashing bag union" shape for free.
+func (p *Planner) PlanUnion(u *sqlparse.Union) (exec.Operator, error) {
+	if len(u.Terms) < 2 || len(u.All) != len(u.Terms)-1 {
+		return nil, fmt.Errorf("malformed UNION")
+	}
+	var orderBy []sqlparse.OrderItem
+	limit := -1
+	var cur exec.Operator
+	for i, term := range u.Terms {
+		t := *term
+		if i == len(u.Terms)-1 {
+			// The final term's ORDER BY / LIMIT apply to the whole union.
+			orderBy, limit = t.OrderBy, t.Limit
+			t.OrderBy, t.Limit = nil, -1
+		}
+		op, err := p.PlanSelect(&t)
+		if err != nil {
+			return nil, fmt.Errorf("UNION term %d: %w", i+1, err)
+		}
+		if i == 0 {
+			cur = op
+			continue
+		}
+		ua, err := exec.NewUnionAll(cur, op)
+		if err != nil {
+			return nil, err
+		}
+		cur = ua
+		if !u.All[i-1] {
+			cur = exec.NewDistinct(cur)
+		}
+	}
+	if len(orderBy) > 0 {
+		keys := make([]exec.SortKey, 0, len(orderBy))
+		for _, oi := range orderBy {
+			e, err := lowerAgainstSchema(oi.Expr, cur.Schema())
+			if err != nil {
+				return nil, fmt.Errorf("UNION ORDER BY: %w", err)
+			}
+			keys = append(keys, exec.SortKey{Expr: e, Desc: oi.Desc})
+		}
+		cur = exec.NewSort(cur, keys)
+	}
+	if limit >= 0 {
+		cur = exec.NewLimit(cur, limit)
+	}
+	return cur, nil
+}
+
+// conjunct is one WHERE predicate with a consumption mark.
+type conjunct struct {
+	e        expr.Expr
+	consumed bool
+}
+
+// addFromEntry extends the left-deep plan with one FROM entry.
+func (p *Planner) addFromEntry(cur exec.Operator, sc *scope, idx int, scopes []*scope,
+	conjuncts []conjunct, avail map[schema.AttrID]bool) (exec.Operator, error) {
+	if sc.def != nil {
+		ev, bindDesc, err := p.buildEVScan(sc, conjuncts, avail)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
+			return ev, nil
+		}
+		return exec.NewDependentJoin(cur, ev, bindDesc), nil
+	}
+	scan := exec.NewTableScan(sc.table, sc.schema)
+	if cur == nil {
+		return scan, nil
+	}
+	// Conjuncts evaluable over (cur ∪ scan) become the join predicate.
+	joinAvail := make(map[schema.AttrID]bool, len(avail)+sc.schema.Len())
+	for id := range avail {
+		joinAvail[id] = true
+	}
+	for _, col := range sc.schema.Cols {
+		joinAvail[col.ID] = true
+	}
+	var preds []expr.Expr
+	for k := range conjuncts {
+		c := &conjuncts[k]
+		if c.consumed {
+			continue
+		}
+		a := expr.Attrs(c.e)
+		if attrsSubset(a, joinAvail) && referencesAny(a, sc.schema) {
+			preds = append(preds, c.e)
+			c.consumed = true
+		}
+	}
+	return exec.NewNestedLoopJoin(cur, scan, expr.NewAnd(preds...)), nil
+}
+
+// buildEVScan performs binding analysis for one virtual table reference
+// and constructs its EVScan.
+func (p *Planner) buildEVScan(sc *scope, conjuncts []conjunct, avail map[schema.AttrID]bool) (*exec.EVScan, string, error) {
+	def := sc.def
+	numInputs := def.NumInputs()
+	inputIdx := make(map[schema.AttrID]int, numInputs)
+	for i := 0; i < numInputs; i++ {
+		inputIdx[sc.schema.Cols[i].ID] = i
+	}
+	var rankAttr schema.AttrID
+	if def.Kind == vtab.KindWebPages {
+		for _, col := range sc.schema.Cols {
+			if col.Name == "Rank" {
+				rankAttr = col.ID
+			}
+		}
+	}
+
+	bindings := make([]expr.Expr, numInputs)
+	var bindDescs []string
+	rankLimit := p.DefaultRankLimit
+	if rankLimit <= 0 {
+		rankLimit = vtab.DefaultRankLimit
+	}
+
+	for k := range conjuncts {
+		c := &conjuncts[k]
+		if c.consumed {
+			continue
+		}
+		cmp, ok := c.e.(*expr.Cmp)
+		if !ok {
+			continue
+		}
+		// Input binding: INPUT = expr or expr = INPUT.
+		if cmp.Op == expr.EQ {
+			if bound, err := p.tryBind(cmp.L, cmp.R, inputIdx, bindings, avail, sc, &bindDescs); err != nil {
+				return nil, "", err
+			} else if bound {
+				c.consumed = true
+				continue
+			}
+			if bound, err := p.tryBind(cmp.R, cmp.L, inputIdx, bindings, avail, sc, &bindDescs); err != nil {
+				return nil, "", err
+			} else if bound {
+				c.consumed = true
+				continue
+			}
+		}
+		// Rank limit: Rank <= k or Rank < k against a constant.
+		if def.Kind == vtab.KindWebPages {
+			if lim, ok := rankBound(cmp, rankAttr); ok {
+				if lim < rankLimit {
+					rankLimit = lim
+				}
+				c.consumed = true
+				continue
+			}
+		}
+	}
+
+	// Assemble call-argument expressions.
+	var inputs []expr.Expr
+	switch def.Kind {
+	case vtab.KindWebFetch:
+		if bindings[0] == nil {
+			return nil, "", fmt.Errorf("%s.URL must be bound by a constant or an earlier FROM table", sc.alias)
+		}
+		inputs = []expr.Expr{bindings[0]}
+	default:
+		var boundIdx []int
+		for i := 1; i < numInputs; i++ {
+			if bindings[i] != nil {
+				boundIdx = append(boundIdx, i)
+			}
+		}
+		searchExp := bindings[0]
+		if searchExp == nil {
+			if len(boundIdx) == 0 {
+				return nil, "", fmt.Errorf("%s: no search terms bound; bind T1..Tn or SearchExp via equality with a constant or an earlier FROM table", sc.alias)
+			}
+			searchExp = expr.NewLiteral(types.Str(def.DefaultSearchExp(boundIdx)))
+		}
+		inputs = append(inputs, searchExp)
+		for i := 1; i < numInputs; i++ {
+			if bindings[i] != nil {
+				inputs = append(inputs, bindings[i])
+			} else {
+				inputs = append(inputs, expr.NewLiteral(types.Null()))
+			}
+		}
+		if def.Kind == vtab.KindWebPages {
+			inputs = append(inputs, expr.NewLiteral(types.Int(int64(rankLimit))))
+		}
+	}
+
+	ev := exec.NewEVScan(vtab.NewSource(def), inputs, sc.schema)
+	ev.Cache = p.Cache
+	return ev, strings.Join(bindDescs, ", "), nil
+}
+
+// tryBind attempts to interpret "lhs = rhs" as a binding of one of the
+// virtual table's input columns (lhs) to an expression over constants and
+// earlier FROM entries (rhs).
+func (p *Planner) tryBind(lhs, rhs expr.Expr, inputIdx map[schema.AttrID]int,
+	bindings []expr.Expr, avail map[schema.AttrID]bool, sc *scope, bindDescs *[]string) (bool, error) {
+	cr, ok := lhs.(*expr.ColRef)
+	if !ok {
+		return false, nil
+	}
+	i, isInput := inputIdx[cr.ID]
+	if !isInput {
+		return false, nil
+	}
+	rhsAttrs := expr.Attrs(rhs)
+	if !attrsSubset(rhsAttrs, avail) {
+		// The binding references a column that is not yet available. If it
+		// belongs to this very table or a later FROM entry, the join order
+		// makes the input unbindable — a planning error in Redbase's
+		// user-specified-join-order world.
+		if _, selfRef := inputIdx[firstAttr(rhsAttrs)]; selfRef {
+			return false, nil
+		}
+		return false, fmt.Errorf("input %s.%s is bound to %s, which is not available before %s in the FROM order",
+			sc.alias, cr.Col.Name, rhs, sc.alias)
+	}
+	if bindings[i] != nil {
+		return false, nil // already bound; keep the predicate as a filter
+	}
+	bindings[i] = rhs
+	if len(rhsAttrs) > 0 {
+		*bindDescs = append(*bindDescs, fmt.Sprintf("%s + %s.%s", rhs, sc.alias, cr.Col.Name))
+	}
+	return true, nil
+}
+
+func firstAttr(set map[schema.AttrID]bool) schema.AttrID {
+	for id := range set {
+		return id
+	}
+	return 0
+}
+
+// rankBound extracts a constant upper bound from "Rank <= k" / "Rank < k"
+// (or the mirrored ">=/>" forms).
+func rankBound(cmp *expr.Cmp, rankAttr schema.AttrID) (int, bool) {
+	col, colLeft := cmp.L.(*expr.ColRef)
+	lit, litRight := cmp.R.(*expr.Literal)
+	op := cmp.Op
+	if !colLeft || !litRight {
+		col, colLeft = cmp.R.(*expr.ColRef)
+		lit, litRight = cmp.L.(*expr.Literal)
+		if !colLeft || !litRight {
+			return 0, false
+		}
+		// k >= Rank means Rank <= k.
+		switch op {
+		case expr.GE:
+			op = expr.LE
+		case expr.GT:
+			op = expr.LT
+		default:
+			return 0, false
+		}
+	}
+	if col.ID != rankAttr {
+		return 0, false
+	}
+	n, err := lit.Val.AsInt()
+	if err != nil {
+		return 0, false
+	}
+	switch op {
+	case expr.LE:
+		return int(n), true
+	case expr.LT:
+		return int(n) - 1, true
+	default:
+		return 0, false
+	}
+}
+
+// buildAggregate lowers GROUP BY and aggregate select items into an
+// Aggregate operator and rewrites the select items to reference its
+// output. Aggregates are supported as whole select items (SELECT Name,
+// COUNT(*) ... GROUP BY Name).
+func (p *Planner) buildAggregate(cur exec.Operator, sel *sqlparse.Select, scopes []*scope,
+	items *[]sqlparse.SelectItem) (exec.Operator, error) {
+	var groupExprs []expr.Expr
+	var groupCols []schema.Column
+	groupKey := make(map[string]schema.Column)
+	for _, g := range sel.GroupBy {
+		e, err := p.lowerExpr(g, scopes)
+		if err != nil {
+			return nil, err
+		}
+		var col schema.Column
+		if cr, ok := e.(*expr.ColRef); ok {
+			col = cr.Col
+		} else {
+			col = schema.Column{ID: schema.NewAttrID(), Name: g.String(), Type: e.Type()}
+		}
+		groupExprs = append(groupExprs, e)
+		groupCols = append(groupCols, col)
+		groupKey[strings.ToLower(g.String())] = col
+	}
+
+	var aggs []exec.AggSpec
+	newItems := make([]sqlparse.SelectItem, 0, len(*items))
+	for i, it := range *items {
+		fc, isAgg := it.Expr.(*sqlparse.FuncCall)
+		if !isAgg {
+			// Must match a GROUP BY expression.
+			if _, ok := groupKey[strings.ToLower(it.Expr.String())]; !ok {
+				return nil, fmt.Errorf("select item %s must appear in GROUP BY or be an aggregate", it.Expr)
+			}
+			newItems = append(newItems, it)
+			continue
+		}
+		spec, err := p.lowerAggregate(fc, scopes, i)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, spec)
+		name := it.Alias
+		if name == "" {
+			name = fc.String()
+		}
+		spec.OutCol.Name = name
+		aggs[len(aggs)-1].OutCol.Name = name
+		newItems = append(newItems, sqlparse.SelectItem{Expr: &sqlparse.Col{Name: name}, Alias: it.Alias})
+	}
+	*items = newItems
+	return exec.NewAggregate(cur, groupExprs, groupCols, aggs), nil
+}
+
+// lowerAggregate converts one aggregate call into an AggSpec.
+func (p *Planner) lowerAggregate(fc *sqlparse.FuncCall, scopes []*scope, ordinal int) (exec.AggSpec, error) {
+	var fn exec.AggFunc
+	switch strings.ToUpper(fc.Name) {
+	case "COUNT":
+		if fc.Star {
+			fn = exec.AggCountStar
+		} else {
+			fn = exec.AggCount
+		}
+	case "SUM":
+		fn = exec.AggSum
+	case "MIN":
+		fn = exec.AggMin
+	case "MAX":
+		fn = exec.AggMax
+	case "AVG":
+		fn = exec.AggAvg
+	default:
+		return exec.AggSpec{}, fmt.Errorf("unsupported aggregate %s", fc.Name)
+	}
+	spec := exec.AggSpec{Func: fn}
+	outType := schema.TInt
+	if !fc.Star {
+		arg, err := p.lowerExpr(fc.Args[0], scopes)
+		if err != nil {
+			return exec.AggSpec{}, err
+		}
+		spec.Arg = arg
+		switch fn {
+		case exec.AggSum, exec.AggMin, exec.AggMax:
+			outType = arg.Type()
+		case exec.AggAvg:
+			outType = schema.TFloat
+		}
+	}
+	spec.OutCol = schema.Column{ID: schema.NewAttrID(), Name: fmt.Sprintf("agg%d", ordinal), Type: outType}
+	return spec, nil
+}
+
+// projectionColumn derives the output column for one select item.
+func projectionColumn(e expr.Expr, it sqlparse.SelectItem, i int) schema.Column {
+	if cr, ok := e.(*expr.ColRef); ok {
+		col := cr.Col
+		if it.Alias != "" {
+			col.Name = it.Alias
+			col.Table = ""
+		}
+		return col
+	}
+	name := it.Alias
+	if name == "" {
+		name = fmt.Sprintf("col%d", i+1)
+	}
+	return schema.Column{ID: schema.NewAttrID(), Name: name, Type: e.Type()}
+}
+
+// lowerExpr resolves a parser expression against the FROM scopes.
+func (p *Planner) lowerExpr(e sqlparse.Expr, scopes []*scope) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *sqlparse.Lit:
+		return expr.NewLiteral(n.Val), nil
+	case *sqlparse.Col:
+		col, err := resolveColumn(n, scopes)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewColRef(col), nil
+	case *sqlparse.Unary:
+		inner, err := p.lowerExpr(n.E, scopes)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "NOT":
+			return expr.NewNot(inner), nil
+		case "-":
+			return expr.NewArith(expr.Sub, expr.NewLiteral(types.Int(0)), inner), nil
+		default:
+			return nil, fmt.Errorf("unknown unary operator %s", n.Op)
+		}
+	case *sqlparse.Binary:
+		l, err := p.lowerExpr(n.L, scopes)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.lowerExpr(n.R, scopes)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "AND":
+			return expr.NewAnd(l, r), nil
+		case "OR":
+			return expr.NewOr(l, r), nil
+		case "=":
+			return expr.NewCmp(expr.EQ, l, r), nil
+		case "<>":
+			return expr.NewCmp(expr.NE, l, r), nil
+		case "<":
+			return expr.NewCmp(expr.LT, l, r), nil
+		case "<=":
+			return expr.NewCmp(expr.LE, l, r), nil
+		case ">":
+			return expr.NewCmp(expr.GT, l, r), nil
+		case ">=":
+			return expr.NewCmp(expr.GE, l, r), nil
+		case "+":
+			return expr.NewArith(expr.Add, l, r), nil
+		case "-":
+			return expr.NewArith(expr.Sub, l, r), nil
+		case "*":
+			return expr.NewArith(expr.Mul, l, r), nil
+		case "/":
+			return expr.NewArith(expr.Div, l, r), nil
+		default:
+			return nil, fmt.Errorf("unknown operator %s", n.Op)
+		}
+	case *sqlparse.FuncCall:
+		return nil, fmt.Errorf("aggregate %s is only allowed as a top-level select item", n)
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+// resolveColumn finds a (possibly qualified) column across the FROM scopes.
+func resolveColumn(c *sqlparse.Col, scopes []*scope) (schema.Column, error) {
+	if c.Table != "" {
+		for _, sc := range scopes {
+			if strings.EqualFold(sc.alias, c.Table) {
+				return sc.schema.Resolve("", c.Name)
+			}
+		}
+		// No scope alias matches (e.g. ORDER BY over a projection schema):
+		// resolve by the columns' own table qualifiers.
+		for _, sc := range scopes {
+			if col, err := sc.schema.Resolve(c.Table, c.Name); err == nil {
+				return col, nil
+			}
+		}
+		return schema.Column{}, fmt.Errorf("unknown table or alias %s", c.Table)
+	}
+	var found []schema.Column
+	for _, sc := range scopes {
+		if col, err := sc.schema.Resolve("", c.Name); err == nil {
+			found = append(found, col)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return schema.Column{}, fmt.Errorf("unknown column %s", c.Name)
+	case 1:
+		return found[0], nil
+	default:
+		return schema.Column{}, fmt.Errorf("ambiguous column %s (qualify it with a table alias)", c.Name)
+	}
+}
+
+// lowerAgainstSchema resolves a parser expression against a single flat
+// schema (used for ORDER BY against the projection output and for
+// post-aggregation select items).
+func lowerAgainstSchema(e sqlparse.Expr, s *schema.Schema) (expr.Expr, error) {
+	p := &Planner{}
+	return p.lowerExpr(e, []*scope{{schema: s}})
+}
+
+// attrsSubset reports a ⊆ b.
+func attrsSubset(a, b map[schema.AttrID]bool) bool {
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// referencesAny reports whether the attribute set touches any column of s.
+func referencesAny(a map[schema.AttrID]bool, s *schema.Schema) bool {
+	for _, col := range s.Cols {
+		if a[col.ID] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// The HTTP layer exposes an Engine over a JSON API, so that WSQ's external
+// calls traverse a real network stack (sockets, HTTP framing, connection
+// pooling) just as the paper's prototype did against AltaVista and Google.
+//
+// API:
+//
+//	GET /count?q=EXPR                 -> {"count": N}
+//	GET /search?q=EXPR&k=K            -> {"results": [{url,rank,date,score}...]}
+//	GET /fetch?url=URL                -> {"body": "..."}
+//	GET /healthz                      -> {"engine": name}
+
+type countResponse struct {
+	Count int64 `json:"count"`
+}
+
+type searchResponse struct {
+	Results []Result `json:"results"`
+}
+
+type fetchResponse struct {
+	Body string `json:"body"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler wraps an engine in an http.Handler implementing the API.
+func NewHandler(e Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			writeError(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		n, err := e.Count(q)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, countResponse{Count: n})
+	})
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			writeError(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		k := 10
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			var err error
+			k, err = strconv.Atoi(ks)
+			if err != nil || k < 0 {
+				writeError(w, http.StatusBadRequest, "bad k parameter")
+				return
+			}
+		}
+		res, err := e.Search(q, k)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, searchResponse{Results: res})
+	})
+	mux.HandleFunc("/fetch", func(w http.ResponseWriter, r *http.Request) {
+		u := r.URL.Query().Get("url")
+		if u == "" {
+			writeError(w, http.StatusBadRequest, "missing url parameter")
+			return
+		}
+		body, err := e.Fetch(u)
+		if err == ErrNotFound {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, fetchResponse{Body: body})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"engine": e.Name()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late to change the status; nothing more to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// Client is an Engine backed by a remote HTTP search service. It pools
+// connections aggressively: a WSQ query plan may have dozens of requests
+// in flight against the same host.
+type Client struct {
+	name    string
+	baseURL string
+	http    *http.Client
+}
+
+// NewClient builds a client for the engine served at baseURL.
+func NewClient(name, baseURL string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     60 * time.Second,
+	}
+	return &Client{
+		name:    name,
+		baseURL: baseURL,
+		http:    &http.Client{Transport: tr, Timeout: 60 * time.Second},
+	}
+}
+
+// Name implements Engine.
+func (c *Client) Name() string { return c.name }
+
+func (c *Client) get(path string, params url.Values, out interface{}) error {
+	u := c.baseURL + path + "?" + params.Encode()
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return fmt.Errorf("engine %s: %w", c.name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("engine %s: read response: %w", c.name, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("engine %s: %s", c.name, er.Error)
+		}
+		return fmt.Errorf("engine %s: HTTP %d", c.name, resp.StatusCode)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Count implements Engine.
+func (c *Client) Count(query string) (int64, error) {
+	var out countResponse
+	params := url.Values{"q": {query}}
+	if err := c.get("/count", params, &out); err != nil {
+		return 0, err
+	}
+	return out.Count, nil
+}
+
+// Search implements Engine.
+func (c *Client) Search(query string, k int) ([]Result, error) {
+	var out searchResponse
+	params := url.Values{"q": {query}, "k": {strconv.Itoa(k)}}
+	if err := c.get("/search", params, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Fetch implements Engine.
+func (c *Client) Fetch(pageURL string) (string, error) {
+	var out fetchResponse
+	params := url.Values{"url": {pageURL}}
+	if err := c.get("/fetch", params, &out); err != nil {
+		return "", err
+	}
+	return out.Body, nil
+}

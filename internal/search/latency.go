@@ -1,0 +1,136 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LatencyModel describes the simulated per-request delay of a remote
+// search engine. The paper measures AltaVista latencies of "one or more
+// seconds" per request; the model here reproduces a base delay with
+// seeded jitter so experiments are repeatable.
+type LatencyModel struct {
+	// Base is the minimum per-request delay.
+	Base time.Duration
+	// Jitter is the maximum additional random delay (uniform).
+	Jitter time.Duration
+	// CountFactor scales the delay of Count requests relative to Search
+	// requests; "many Web search engines can return a total number of
+	// pages immediately, without delivering the actual URLs" (Section 3),
+	// so counts are somewhat cheaper. 1.0 means no difference.
+	CountFactor float64
+}
+
+// PaperLatency approximates the 1999 web: ~0.75s per search.
+func PaperLatency() LatencyModel {
+	return LatencyModel{Base: 600 * time.Millisecond, Jitter: 300 * time.Millisecond, CountFactor: 0.8}
+}
+
+// BenchLatency is a scaled-down model (~25 ms) so the full Table 1 harness
+// runs in seconds while preserving the latency-dominated regime.
+func BenchLatency() LatencyModel {
+	return LatencyModel{Base: 20 * time.Millisecond, Jitter: 10 * time.Millisecond, CountFactor: 0.8}
+}
+
+// ZeroLatency disables delays (for unit tests of query semantics).
+func ZeroLatency() LatencyModel { return LatencyModel{} }
+
+// Delayed wraps an engine, sleeping per request according to a latency
+// model. It is safe for concurrent use; each in-flight request sleeps
+// independently, which is exactly the property asynchronous iteration
+// exploits.
+type Delayed struct {
+	inner Engine
+	model LatencyModel
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	statsMu     sync.Mutex
+	inFlight    int
+	maxInFlight int
+	requests    int64
+}
+
+// NewDelayed wraps inner with the given latency model and jitter seed.
+func NewDelayed(inner Engine, model LatencyModel, seed int64) *Delayed {
+	return &Delayed{inner: inner, model: model, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Engine.
+func (d *Delayed) Name() string { return d.inner.Name() }
+
+func (d *Delayed) delay(factor float64) {
+	if d.model.Base == 0 && d.model.Jitter == 0 {
+		return
+	}
+	d.mu.Lock()
+	j := time.Duration(0)
+	if d.model.Jitter > 0 {
+		j = time.Duration(d.rng.Int63n(int64(d.model.Jitter)))
+	}
+	d.mu.Unlock()
+	total := time.Duration(float64(d.model.Base+j) * factor)
+	time.Sleep(total)
+}
+
+func (d *Delayed) enter() {
+	d.statsMu.Lock()
+	d.inFlight++
+	d.requests++
+	if d.inFlight > d.maxInFlight {
+		d.maxInFlight = d.inFlight
+	}
+	d.statsMu.Unlock()
+}
+
+func (d *Delayed) exit() {
+	d.statsMu.Lock()
+	d.inFlight--
+	d.statsMu.Unlock()
+}
+
+// Count implements Engine with an injected delay.
+func (d *Delayed) Count(query string) (int64, error) {
+	d.enter()
+	defer d.exit()
+	f := d.model.CountFactor
+	if f == 0 {
+		f = 1
+	}
+	d.delay(f)
+	return d.inner.Count(query)
+}
+
+// Search implements Engine with an injected delay.
+func (d *Delayed) Search(query string, k int) ([]Result, error) {
+	d.enter()
+	defer d.exit()
+	d.delay(1)
+	return d.inner.Search(query, k)
+}
+
+// Fetch implements Engine with an injected delay.
+func (d *Delayed) Fetch(url string) (string, error) {
+	d.enter()
+	defer d.exit()
+	d.delay(1)
+	return d.inner.Fetch(url)
+}
+
+// Stats reports total requests served and the maximum observed request
+// concurrency — the direct evidence that asynchronous iteration overlapped
+// calls.
+func (d *Delayed) Stats() (requests int64, maxInFlight int) {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.requests, d.maxInFlight
+}
+
+// ResetStats clears the concurrency statistics between experiment runs.
+func (d *Delayed) ResetStats() {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	d.inFlight, d.maxInFlight, d.requests = 0, 0, 0
+}

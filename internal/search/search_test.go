@@ -1,0 +1,242 @@
+package search
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memEngine is a tiny deterministic engine for transport tests.
+type memEngine struct {
+	name string
+}
+
+func (m *memEngine) Name() string { return m.name }
+func (m *memEngine) Count(q string) (int64, error) {
+	if q == "err" {
+		return 0, fmt.Errorf("scripted failure")
+	}
+	return int64(len(q)), nil
+}
+func (m *memEngine) Search(q string, k int) ([]Result, error) {
+	var out []Result
+	for i := 1; i <= k && i <= 3; i++ {
+		out = append(out, Result{URL: fmt.Sprintf("www.%s.com/%d", q, i), Rank: i, Date: "1999-01-02", Score: float64(10 - i)})
+	}
+	return out, nil
+}
+func (m *memEngine) Fetch(url string) (string, error) {
+	if url == "missing" {
+		return "", ErrNotFound
+	}
+	return "<html>" + url + "</html>", nil
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Default(); err == nil {
+		t.Error("empty registry has no default")
+	}
+	av := &memEngine{name: "AltaVista"}
+	g := &memEngine{name: "google"}
+	r.Register(av, "AV")
+	r.Register(g, "G")
+	e, err := r.Lookup("altavista")
+	if err != nil || e != Engine(av) {
+		t.Errorf("case-insensitive lookup: %v %v", e, err)
+	}
+	if e, _ := r.Lookup("av"); e != Engine(av) {
+		t.Error("alias lookup")
+	}
+	if e, _ := r.Lookup("G"); e != Engine(g) {
+		t.Error("alias lookup G")
+	}
+	if _, err := r.Lookup("lycos"); err == nil {
+		t.Error("unknown engine")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "altavista" || names[1] != "google" {
+		t.Errorf("names: %v", names)
+	}
+	if d, _ := r.Default(); d != Engine(av) {
+		t.Error("default is first by name")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Latency wrapper
+
+func TestDelayedInjectsLatency(t *testing.T) {
+	d := NewDelayed(&memEngine{name: "m"}, LatencyModel{Base: 30 * time.Millisecond, CountFactor: 1}, 1)
+	start := time.Now()
+	if _, err := d.Count("abc"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("latency not injected: %v", elapsed)
+	}
+}
+
+func TestDelayedCountFactor(t *testing.T) {
+	d := NewDelayed(&memEngine{name: "m"}, LatencyModel{Base: 40 * time.Millisecond, CountFactor: 0.25}, 1)
+	start := time.Now()
+	d.Count("abc")
+	countTime := time.Since(start)
+	start = time.Now()
+	d.Search("abc", 1)
+	searchTime := time.Since(start)
+	if countTime >= searchTime {
+		t.Errorf("count (%v) should be cheaper than search (%v)", countTime, searchTime)
+	}
+}
+
+func TestDelayedZeroLatency(t *testing.T) {
+	d := NewDelayed(&memEngine{name: "m"}, ZeroLatency(), 1)
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		d.Count("q")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("zero latency model should not sleep")
+	}
+}
+
+func TestDelayedConcurrencyStats(t *testing.T) {
+	d := NewDelayed(&memEngine{name: "m"}, LatencyModel{Base: 20 * time.Millisecond}, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Search("x", 1)
+		}()
+	}
+	wg.Wait()
+	requests, maxInFlight := d.Stats()
+	if requests != 10 {
+		t.Errorf("requests: %d", requests)
+	}
+	if maxInFlight < 5 {
+		t.Errorf("concurrent requests should overlap: max %d", maxInFlight)
+	}
+	d.ResetStats()
+	if r, m := d.Stats(); r != 0 || m != 0 {
+		t.Error("reset stats")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport
+
+func newHTTPPair(t *testing.T) (*Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(&memEngine{name: "m"}))
+	t.Cleanup(srv.Close)
+	return NewClient("m", srv.URL), srv
+}
+
+func TestHTTPCount(t *testing.T) {
+	c, _ := newHTTPPair(t)
+	n, err := c.Count("abcd")
+	if err != nil || n != 4 {
+		t.Fatalf("count over http: %d %v", n, err)
+	}
+}
+
+func TestHTTPSearch(t *testing.T) {
+	c, _ := newHTTPPair(t)
+	res, err := c.Search("utah", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].URL != "www.utah.com/1" || res[0].Rank != 1 {
+		t.Errorf("search over http: %+v", res)
+	}
+	if res[0].Date != "1999-01-02" || res[0].Score != 9 {
+		t.Errorf("fields lost in transit: %+v", res[0])
+	}
+}
+
+func TestHTTPFetch(t *testing.T) {
+	c, _ := newHTTPPair(t)
+	body, err := c.Fetch("www.x.com/1")
+	if err != nil || body != "<html>www.x.com/1</html>" {
+		t.Fatalf("fetch: %q %v", body, err)
+	}
+	if _, err := c.Fetch("missing"); err != ErrNotFound {
+		t.Errorf("not-found mapping: %v", err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := newHTTPPair(t)
+	// Server-side engine failure surfaces as an error with the message.
+	if _, err := c.Count("err"); err == nil {
+		t.Error("engine error should propagate over http")
+	}
+	// Bad parameters.
+	srv := httptest.NewServer(NewHandler(&memEngine{name: "m"}))
+	defer srv.Close()
+	for _, path := range []string{"/count", "/search?q=x&k=bad", "/fetch"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 200 {
+			t.Errorf("%s should be a client error", path)
+		}
+		resp.Body.Close()
+	}
+	// Unreachable server.
+	dead := NewClient("dead", "http://127.0.0.1:1")
+	if _, err := dead.Count("x"); err == nil {
+		t.Error("unreachable server should error")
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(&memEngine{name: "myeng"}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPConcurrentRequests(t *testing.T) {
+	// The whole point: the transport must sustain many in-flight calls.
+	inner := NewDelayed(&memEngine{name: "m"}, LatencyModel{Base: 20 * time.Millisecond}, 1)
+	srv := httptest.NewServer(NewHandler(inner))
+	defer srv.Close()
+	c := NewClient("m", srv.URL)
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	start := time.Now()
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Search("q", 1); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("30 concurrent 20ms calls took %v; transport serializing?", elapsed)
+	}
+	_, maxInFlight := inner.Stats()
+	if maxInFlight < 10 {
+		t.Errorf("server-side concurrency: %d", maxInFlight)
+	}
+}

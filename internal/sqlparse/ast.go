@@ -1,0 +1,175 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name    string
+	Columns []ColumnSpec
+}
+
+// ColumnSpec is one column declaration in CREATE TABLE.
+type ColumnSpec struct {
+	Name string
+	Type string
+}
+
+// DropTable is a DROP TABLE statement.
+type DropTable struct {
+	Name string
+}
+
+// Insert is an INSERT INTO ... VALUES statement (multi-row).
+type Insert struct {
+	Table string
+	Rows  [][]types.Value
+}
+
+// Select is a select-project-join query.
+type Select struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is one FROM-clause entry. In Redbase style, the order of
+// TableRefs fixes the join order.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table when empty
+}
+
+// EffectiveAlias returns the alias used to qualify this table's columns.
+func (t TableRef) EffectiveAlias() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Union combines two or more SELECTs. UNION deduplicates; UNION ALL is
+// the bag union. Only the final term may carry ORDER BY / LIMIT, which
+// apply to the whole union.
+type Union struct {
+	Terms []*Select
+	// All[i] reports whether the i-th UNION keyword (between Terms[i] and
+	// Terms[i+1]) was UNION ALL.
+	All []bool
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Union) stmt()       {}
+
+// ---------------------------------------------------------------------------
+// Parser-level (unresolved) expressions
+
+// Expr is an unresolved expression node produced by the parser. The
+// planner resolves Col references against table schemas and lowers the
+// tree into internal/expr nodes.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// Col is a possibly-qualified column reference.
+type Col struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	Val types.Value
+}
+
+// Binary applies a binary operator: = <> < <= > >= + - * / AND OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary applies NOT or unary minus.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// FuncCall is an aggregate function application: COUNT(*), COUNT(x),
+// SUM/MIN/MAX/AVG(x).
+type FuncCall struct {
+	Name string
+	Star bool
+	Args []Expr
+}
+
+func (*Col) expr()      {}
+func (*Lit) expr()      {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*FuncCall) expr() {}
+
+// String implements fmt.Stringer.
+func (c *Col) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// String implements fmt.Stringer.
+func (l *Lit) String() string {
+	if l.Val.Kind == types.KindString {
+		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
+	}
+	return l.Val.String()
+}
+
+// String implements fmt.Stringer.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// String implements fmt.Stringer.
+func (u *Unary) String() string {
+	return fmt.Sprintf("%s(%s)", u.Op, u.E)
+}
+
+// String implements fmt.Stringer.
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}

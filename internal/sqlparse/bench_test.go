@@ -1,0 +1,29 @@
+package sqlparse
+
+import "testing"
+
+var benchQueries = []string{
+	`SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`,
+	`SELECT Name, Count, URL, Rank FROM States, WebCount, WebPages
+	 WHERE Name = WebCount.T1 AND WebCount.T2 = 'computer'
+	   AND Name = WebPages.T1 AND WebPages.T2 = 'beaches' AND WebPages.Rank <= 2`,
+	`SELECT Capital, C.Count, Name, S.Count FROM States, WebCount C, WebCount S
+	 WHERE Capital = C.T1 AND Name = S.T1 AND C.Count > S.Count`,
+	`SELECT Name, COUNT(*) AS n, SUM(Population) FROM States GROUP BY Name ORDER BY n DESC LIMIT 10`,
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(benchQueries[i%len(benchQueries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

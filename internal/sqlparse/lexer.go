@@ -1,0 +1,163 @@
+// Package sqlparse implements the lexer and recursive-descent parser for
+// the engine's SQL subset: CREATE TABLE, INSERT, DROP TABLE, and
+// select-project-join queries with WHERE, GROUP BY, ORDER BY, LIMIT,
+// DISTINCT, and aggregate functions. This mirrors (and modestly extends)
+// the SQL subset of Redbase, the substrate DBMS of the WSQ/DSQ paper.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// The token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp    // = <> != < <= > >= + - * / ( ) , . ;
+	TokParam // %1 %2 ... (used inside search expressions, passed through)
+)
+
+// Token is one lexical token with position information for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return Token{Kind: TokEOF, Pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start}, nil
+	case c >= '0' && c <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		// SQL string literal with '' escaping.
+		var sb strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return Token{Kind: TokOp, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return Token{Kind: TokOp, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokOp, Text: "<>", Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("unexpected character '!' at offset %d", start)
+	case strings.ContainsRune("=+-*/(),.;", rune(c)):
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+	case c == '%':
+		// Parameter marker %N (appears in quoted search expressions only,
+		// but tolerate it bare for robustness).
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return Token{Kind: TokParam, Text: l.src[start:l.pos], Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// Tokenize lexes the entire input (used by tests).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

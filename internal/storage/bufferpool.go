@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+)
+
+// BufferPool caches pages of one underlying file in memory with pin
+// counting and LRU replacement of unpinned frames. It is the "page-level
+// buffer" of the Redbase substrate.
+//
+// The pool is not safe for concurrent use; the engine's query execution is
+// single-threaded by design (the whole point of asynchronous iteration is
+// to get concurrency for external calls *without* a parallel executor).
+type BufferPool struct {
+	file      *os.File
+	maxFrames int
+	frames    map[uint32]*frame
+	lru       *list.List // of *frame; front = most recently used
+	numPages  uint32
+	// Stats for tests and EXPLAIN-level diagnostics.
+	Hits, Misses, Evictions uint64
+}
+
+type frame struct {
+	pageNo uint32
+	page   Page
+	pins   int
+	dirty  bool
+	elem   *list.Element
+}
+
+// DefaultPoolSize is the default number of buffer frames.
+const DefaultPoolSize = 64
+
+// NewBufferPool wraps an open file in a buffer pool with the given frame
+// budget. The file length must be a multiple of PageSize.
+func NewBufferPool(f *os.File, maxFrames int) (*BufferPool, error) {
+	if maxFrames < 1 {
+		maxFrames = DefaultPoolSize
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("stat heap file: %w", err)
+	}
+	if fi.Size()%PageSize != 0 {
+		return nil, fmt.Errorf("heap file size %d is not a multiple of page size %d", fi.Size(), PageSize)
+	}
+	return &BufferPool{
+		file:      f,
+		maxFrames: maxFrames,
+		frames:    make(map[uint32]*frame),
+		lru:       list.New(),
+		numPages:  uint32(fi.Size() / PageSize),
+	}, nil
+}
+
+// NumPages returns the number of pages in the file.
+func (bp *BufferPool) NumPages() uint32 { return bp.numPages }
+
+// Pin fetches the page into the pool (reading from disk on a miss) and
+// pins it. Every Pin must be paired with an Unpin.
+func (bp *BufferPool) Pin(pageNo uint32) (*Page, error) {
+	if pageNo >= bp.numPages {
+		return nil, fmt.Errorf("page %d out of range (file has %d pages)", pageNo, bp.numPages)
+	}
+	if fr, ok := bp.frames[pageNo]; ok {
+		bp.Hits++
+		fr.pins++
+		bp.lru.MoveToFront(fr.elem)
+		return &fr.page, nil
+	}
+	bp.Misses++
+	if err := bp.makeRoom(); err != nil {
+		return nil, err
+	}
+	fr := &frame{pageNo: pageNo, pins: 1}
+	if _, err := bp.file.ReadAt(fr.page.Bytes(), int64(pageNo)*PageSize); err != nil {
+		return nil, fmt.Errorf("read page %d: %w", pageNo, err)
+	}
+	fr.elem = bp.lru.PushFront(fr)
+	bp.frames[pageNo] = fr
+	return &fr.page, nil
+}
+
+// AppendPage extends the file by one zeroed page, pins it, and returns its
+// page number.
+func (bp *BufferPool) AppendPage() (uint32, *Page, error) {
+	if err := bp.makeRoom(); err != nil {
+		return 0, nil, err
+	}
+	pageNo := bp.numPages
+	fr := &frame{pageNo: pageNo, pins: 1, dirty: true}
+	fr.page.Reset()
+	if _, err := bp.file.WriteAt(fr.page.Bytes(), int64(pageNo)*PageSize); err != nil {
+		return 0, nil, fmt.Errorf("extend file with page %d: %w", pageNo, err)
+	}
+	bp.numPages++
+	fr.elem = bp.lru.PushFront(fr)
+	bp.frames[pageNo] = fr
+	return pageNo, &fr.page, nil
+}
+
+// Unpin releases one pin on the page, optionally marking it dirty.
+func (bp *BufferPool) Unpin(pageNo uint32, dirty bool) error {
+	fr, ok := bp.frames[pageNo]
+	if !ok {
+		return fmt.Errorf("unpin of page %d that is not resident", pageNo)
+	}
+	if fr.pins <= 0 {
+		return fmt.Errorf("unpin of page %d with zero pin count", pageNo)
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	return nil
+}
+
+// makeRoom evicts the least recently used unpinned frame if the pool is at
+// capacity, writing it back if dirty.
+func (bp *BufferPool) makeRoom() error {
+	if len(bp.frames) < bp.maxFrames {
+		return nil
+	}
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		fr := e.Value.(*frame)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.dirty {
+			if _, err := bp.file.WriteAt(fr.page.Bytes(), int64(fr.pageNo)*PageSize); err != nil {
+				return fmt.Errorf("write back page %d: %w", fr.pageNo, err)
+			}
+		}
+		bp.lru.Remove(e)
+		delete(bp.frames, fr.pageNo)
+		bp.Evictions++
+		return nil
+	}
+	return fmt.Errorf("buffer pool exhausted: all %d frames pinned", bp.maxFrames)
+}
+
+// FlushAll writes every dirty resident page back to disk.
+func (bp *BufferPool) FlushAll() error {
+	for _, fr := range bp.frames {
+		if !fr.dirty {
+			continue
+		}
+		if _, err := bp.file.WriteAt(fr.page.Bytes(), int64(fr.pageNo)*PageSize); err != nil {
+			return fmt.Errorf("flush page %d: %w", fr.pageNo, err)
+		}
+		fr.dirty = false
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package websim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCorpusBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := Build(Config{Seed: int64(i + 1), Scale: 1})
+		if c.NumPages() == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+func BenchmarkCountSingleTerm(b *testing.B) {
+	e := NewAltaVista(Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Count("California"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountNear(b *testing.B) {
+	e := NewAltaVista(Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Count("California near computer"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchTop10(b *testing.B) {
+	e := NewGoogle(Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search("Texas", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetch(b *testing.B) {
+	e := NewAltaVista(Default())
+	res, err := e.Search("Ohio", 1)
+	if err != nil || len(res) == 0 {
+		b.Fatal("no seed URL")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Fetch(res[0].URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryParse(b *testing.B) {
+	c := Default()
+	queries := []string{
+		"California", "New Mexico near four corners", "scuba diving near Florida",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pq := c.parseQuery(queries[i%len(queries)])
+		if len(pq.Segments) == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}
+
+func BenchmarkCountParallel(b *testing.B) {
+	// The concurrency property asynchronous iteration relies on: the
+	// engine must serve overlapped requests without contention collapse.
+	e := NewAltaVista(Default())
+	terms := make([]string, 16)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("w%d", i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			e.Count(terms[i%len(terms)])
+			i++
+		}
+	})
+}

@@ -1,0 +1,448 @@
+package websim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/datasets"
+)
+
+// TokenOcc is one token occurrence on a page: a term id and a position.
+type TokenOcc struct {
+	Term int32
+	Pos  uint16
+}
+
+// Page is one synthetic web page.
+type Page struct {
+	URL     string
+	Date    string
+	Toks    []TokenOcc
+	AVPrior float64 // static rank prior as seen by the "altavista" engine
+	GPrior  float64 // static rank prior as seen by the "google" engine
+}
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Scale is the number of pages generated per weight unit; the default
+	// of 2 yields ~2000 pages mentioning California (weight 1000) and a
+	// total corpus of roughly 40k pages.
+	Scale int
+}
+
+// DefaultConfig returns the standard corpus configuration.
+func DefaultConfig() Config { return Config{Seed: 1999, Scale: 2} }
+
+// Corpus is the generated synthetic web plus its inverted index.
+type Corpus struct {
+	cfg    Config
+	dict   map[string]int32
+	terms  []string
+	Pages  []Page
+	urlIdx map[string]int32
+	post   []postingList // indexed by term id
+	maxLen int           // longest phrase length in words, for tokenizing
+}
+
+const (
+	fillerVocab = 800
+	nearWindow  = 12
+)
+
+// entity categories used during generation
+type entity struct {
+	term   string
+	weight int
+	kind   string // "state", "capital", "sig", "field", "movie", "constant"
+}
+
+// Build generates the corpus and its inverted index.
+func Build(cfg Config) *Corpus {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 2
+	}
+	c := &Corpus{
+		cfg:    cfg,
+		dict:   make(map[string]int32),
+		urlIdx: make(map[string]int32),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.3, 1.0, fillerVocab-1)
+
+	// Pre-intern filler vocabulary and every entity phrase.
+	for i := 0; i < fillerVocab; i++ {
+		c.intern(fmt.Sprintf("w%d", i))
+	}
+	var entities []entity
+	for _, s := range datasets.States {
+		entities = append(entities, entity{term: s.Name, weight: stateWeights[s.Name], kind: "state"})
+		entities = append(entities, entity{term: s.Capital, weight: capitalWeights[s.Capital], kind: "capital"})
+	}
+	for _, s := range datasets.Sigs {
+		entities = append(entities, entity{term: s, weight: sigWeights[s], kind: "sig"})
+	}
+	for _, f := range datasets.CSFields {
+		entities = append(entities, entity{term: f, weight: csFieldWeights[f], kind: "field"})
+	}
+	for _, m := range datasets.Movies {
+		entities = append(entities, entity{term: m, weight: movieWeights[m], kind: "movie"})
+	}
+	for _, t := range datasets.TemplateConstants {
+		entities = append(entities, entity{term: t, weight: constantWeight(t), kind: "constant"})
+	}
+	for _, e := range entities {
+		c.intern(norm(e.term))
+	}
+	c.intern("four corners")
+	c.intern("knuth")
+	c.intern("scuba diving")
+	c.intern("acm")
+
+	// Entity pages.
+	for _, e := range entities {
+		n := e.weight * cfg.Scale
+		for i := 0; i < n; i++ {
+			c.genEntityPage(rng, zipf, e, i)
+		}
+	}
+	// Correlated special pages.
+	c.genCorrelated(rng, zipf, "four corners", 120*cfg.Scale,
+		newDeckSampler(rng, fourCornersCoWeightsList(), 22, 120*cfg.Scale), nil)
+	c.genCorrelated(rng, zipf, "knuth", 100*cfg.Scale,
+		newDeckSampler(rng, knuthCoWeightsList(), 40, 100*cfg.Scale), nil)
+	c.genCorrelated(rng, zipf, "scuba diving", 80*cfg.Scale,
+		newDeckSampler(rng, scubaCoWeightsList(), 30, 80*cfg.Scale), func(primary string, page *[]TokenOcc, pos uint16) {
+			// Sometimes add a second correlated entity of the other category to
+			// create the state/movie/scuba-diving triples of the DSQ sketch.
+			if rng.Intn(100) >= 30 {
+				return
+			}
+			isState := false
+			for _, s := range datasets.ScubaStates {
+				if s == primary {
+					isState = true
+				}
+			}
+			var pool []string
+			if isState {
+				pool = datasets.ScubaMovies
+			} else {
+				pool = datasets.ScubaStates
+			}
+			other := pool[rng.Intn(len(pool))]
+			*page = append(*page, TokenOcc{Term: c.intern(norm(other)), Pos: pos + 3})
+		})
+
+	// Authority pages: one high-prior page per state and per SIG.
+	for _, s := range datasets.States {
+		c.genAuthorityPage(rng, s.Name, "state")
+	}
+	for _, sg := range datasets.Sigs {
+		c.genAuthorityPage(rng, sg, "sig")
+	}
+
+	c.buildIndex()
+	return c
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultCorpus *Corpus
+)
+
+// Default returns a process-wide shared corpus built with DefaultConfig.
+// Building takes a few hundred milliseconds; sharing it keeps the test
+// suite fast.
+func Default() *Corpus {
+	defaultOnce.Do(func() { defaultCorpus = Build(DefaultConfig()) })
+	return defaultCorpus
+}
+
+func (c *Corpus) intern(term string) int32 {
+	if id, ok := c.dict[term]; ok {
+		return id
+	}
+	id := int32(len(c.terms))
+	c.terms = append(c.terms, term)
+	c.dict[term] = id
+	if n := len(strings.Fields(term)); n > c.maxLen {
+		c.maxLen = n
+	}
+	return id
+}
+
+// norm lowercases a phrase; the corpus vocabulary is case-insensitive.
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// pageURL synthesizes a plausible URL for the i-th page about an entity.
+func pageURL(term string, i int) string {
+	slug := strings.ReplaceAll(norm(term), " ", "-")
+	domains := [...]string{"com", "org", "net", "edu"}
+	d := domains[(len(slug)+i)%len(domains)]
+	switch i % 5 {
+	case 0:
+		return fmt.Sprintf("www.%s.%s/index.html", slug, d)
+	case 1:
+		return fmt.Sprintf("www.%s-online.%s/page%d.html", slug, d, i)
+	case 2:
+		return fmt.Sprintf("members.tripod.com/~%s/%d.html", slug, i)
+	case 3:
+		return fmt.Sprintf("www.geocities.com/%s/%d/index.htm", slug, i)
+	default:
+		return fmt.Sprintf("www.%s.%s/archive/%d.html", slug, d, i)
+	}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// hashFrac maps a string to a deterministic fraction in [0, 1).
+func hashFrac(s string) float64 {
+	return float64(hash64(s)%1_000_000) / 1_000_000
+}
+
+// priors derives the two engines' static rank priors for a URL. The
+// priors are deliberately anti-correlated (a page AltaVista loves, Google
+// shrugs at): this keeps the organic AV∩Google top-5 overlap near zero, so
+// the only agreed URLs in the paper's Query 6 are the deliberately
+// double-boosted authority pages — four states, exactly as the paper found.
+func priors(url string) (av, g float64) {
+	h := hashFrac(url)
+	return 0.5 + h, 1.5 - h
+}
+
+func (c *Corpus) addPage(p Page) int32 {
+	id := int32(len(c.Pages))
+	if _, dup := c.urlIdx[p.URL]; dup {
+		// Extremely unlikely with the URL schemes above; disambiguate.
+		p.URL = fmt.Sprintf("%s?dup=%d", p.URL, id)
+	}
+	c.urlIdx[p.URL] = id
+	c.Pages = append(c.Pages, p)
+	return id
+}
+
+func randDate(rng *rand.Rand) string {
+	return fmt.Sprintf("1999-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))
+}
+
+// genEntityPage emits one page primarily about entity e.
+func (c *Corpus) genEntityPage(rng *rand.Rand, zipf *rand.Zipf, e entity, i int) {
+	length := 24 + rng.Intn(16)
+	var toks []TokenOcc
+	primary := c.dict[norm(e.term)]
+	// Primary term occurs 1-3 times.
+	occ := 1 + rng.Intn(3)
+	for k := 0; k < occ; k++ {
+		toks = append(toks, TokenOcc{Term: primary, Pos: uint16(rng.Intn(length))})
+	}
+	// Secondary co-mentions by category.
+	switch e.kind {
+	case "state":
+		if rng.Intn(100) < 10 {
+			if s, ok := datasets.StateByName(e.term); ok {
+				toks = append(toks, TokenOcc{Term: c.dict[norm(s.Capital)], Pos: uint16(rng.Intn(length))})
+			}
+		}
+	case "capital":
+		if rng.Intn(100) < 10 {
+			for _, s := range datasets.States {
+				if s.Capital == e.term {
+					toks = append(toks, TokenOcc{Term: c.dict[norm(s.Name)], Pos: uint16(rng.Intn(length))})
+					break
+				}
+			}
+		}
+	case "sig":
+		toks = append(toks, TokenOcc{Term: c.dict["acm"], Pos: uint16(rng.Intn(length))})
+		if f, ok := sigFieldAffinity[e.term]; ok && rng.Intn(100) < 35 {
+			toks = append(toks, TokenOcc{Term: c.dict[norm(f)], Pos: uint16(rng.Intn(length))})
+		}
+	case "field":
+		for sig, f := range sigFieldAffinity {
+			if f == e.term && rng.Intn(100) < 20 {
+				toks = append(toks, TokenOcc{Term: c.dict[norm(sig)], Pos: uint16(rng.Intn(length))})
+				break
+			}
+		}
+	}
+	// Template-pool constants appear as secondary tokens on every kind of
+	// page; this is what gives "STATE near CONSTANT" queries their counts.
+	nconst := 2 + rng.Intn(2)
+	for k := 0; k < nconst; k++ {
+		ci := int(zipf.Uint64()) % len(datasets.TemplateConstants)
+		toks = append(toks, TokenOcc{
+			Term: c.dict[norm(datasets.TemplateConstants[ci])],
+			Pos:  uint16(rng.Intn(length)),
+		})
+	}
+	// Filler.
+	nfill := length / 2
+	for k := 0; k < nfill; k++ {
+		toks = append(toks, TokenOcc{
+			Term: int32(zipf.Uint64()),
+			Pos:  uint16(rng.Intn(length)),
+		})
+	}
+	url := pageURL(e.term, i)
+	av, g := priors(url)
+	c.addPage(Page{URL: url, Date: randDate(rng), Toks: toks, AVPrior: av, GPrior: g})
+}
+
+// genCorrelated emits n pages containing the anchor phrase, each with a
+// weighted co-mention placed within the NEAR window of the anchor.
+// Co-mentions are drawn by cycling a shuffled proportional deck rather
+// than independent sampling, so realized co-occurrence counts track the
+// configured weights exactly and the orderings the paper reports (e.g.
+// Colorado > New Mexico > Arizona > Utah for Query 3) cannot be flipped
+// by sampling noise.
+func (c *Corpus) genCorrelated(rng *rand.Rand, zipf *rand.Zipf, anchor string, n int,
+	sample func() (string, bool), extra func(primary string, page *[]TokenOcc, pos uint16)) {
+	anchorID := c.dict[norm(anchor)]
+	for i := 0; i < n; i++ {
+		length := 24 + rng.Intn(16)
+		anchorPos := uint16(4 + rng.Intn(length-8))
+		toks := []TokenOcc{{Term: anchorID, Pos: anchorPos}}
+		if co, ok := sample(); ok {
+			// Place the co-mention within the near window of the anchor.
+			delta := uint16(1 + rng.Intn(nearWindow/2))
+			pos := anchorPos + delta
+			if rng.Intn(2) == 0 && anchorPos > delta {
+				pos = anchorPos - delta
+			}
+			toks = append(toks, TokenOcc{Term: c.intern(norm(co)), Pos: pos})
+			if extra != nil {
+				extra(co, &toks, pos)
+			}
+		}
+		for k := 0; k < length/2; k++ {
+			toks = append(toks, TokenOcc{Term: int32(zipf.Uint64()), Pos: uint16(rng.Intn(length))})
+		}
+		url := pageURL(anchor, i)
+		av, g := priors(url)
+		c.addPage(Page{URL: url, Date: randDate(rng), Toks: toks, AVPrior: av, GPrior: g})
+	}
+}
+
+// genAuthorityPage emits the high-prior "official" page for an entity.
+// For the four states of the paper's Query 6 result both engines boost the
+// page; for every other entity only one engine does, which keeps the
+// AV∩Google top-5 overlap small, as the paper observed ("Google and
+// AltaVista only agreed on the relevance of 4 URLs").
+func (c *Corpus) genAuthorityPage(rng *rand.Rand, term, kind string) {
+	var url string
+	if u, ok := agreedAuthorityURLs[term]; ok {
+		url = u
+	} else {
+		slug := strings.ReplaceAll(norm(term), " ", "")
+		if kind == "sig" {
+			url = fmt.Sprintf("www.acm.org/%s/", slug)
+		} else {
+			url = fmt.Sprintf("www.state-%s.gov/welcome.html", slug)
+		}
+	}
+	primary := c.dict[norm(term)]
+	length := 30
+	// A single occurrence keeps unboosted authority pages out of the
+	// organic top-k; only the per-engine prior boost promotes them.
+	toks := []TokenOcc{{Term: primary, Pos: uint16(rng.Intn(length))}}
+	const boost = 25.0
+	av, g := priors(url)
+	switch {
+	case agreedAuthorityURLs[term] != "":
+		av, g = boost, boost
+	case kind == "sig":
+		av, g = boost, boost
+	case hash64(url)%2 == 0:
+		av = boost
+	default:
+		g = boost
+	}
+	c.addPage(Page{URL: url, Date: randDate(rng), Toks: toks, AVPrior: av, GPrior: g})
+}
+
+// ---------------------------------------------------------------------------
+// weighted sampling helpers
+
+type weighted struct {
+	term   string
+	weight int
+}
+
+func fourCornersCoWeightsList() []weighted {
+	out := make([]weighted, len(fourCornersCoWeights))
+	for i, w := range fourCornersCoWeights {
+		out[i] = weighted{w.State, w.Weight}
+	}
+	return out
+}
+
+func knuthCoWeightsList() []weighted {
+	out := make([]weighted, len(knuthCoWeights))
+	for i, w := range knuthCoWeights {
+		out[i] = weighted{w.Sig, w.Weight}
+	}
+	return out
+}
+
+func scubaCoWeightsList() []weighted {
+	out := make([]weighted, len(scubaCoWeights))
+	for i, w := range scubaCoWeights {
+		out[i] = weighted{w.Term, w.Weight}
+	}
+	return out
+}
+
+// newDeckSampler returns a sampler whose first n draws realize the weighted
+// proportions exactly (largest-remainder apportionment of n slots, then a
+// single shuffle). Realized co-occurrence counts therefore track the
+// configured weights deterministically, not merely in expectation.
+func newDeckSampler(rng *rand.Rand, list []weighted, noneWeight, n int) func() (string, bool) {
+	total := noneWeight
+	for _, w := range list {
+		total += w.weight
+	}
+	type alloc struct {
+		term  string
+		exact float64
+		count int
+	}
+	allocs := make([]alloc, 0, len(list)+1)
+	assigned := 0
+	for _, w := range list {
+		exact := float64(n) * float64(w.weight) / float64(total)
+		cnt := int(exact)
+		allocs = append(allocs, alloc{term: w.term, exact: exact, count: cnt})
+		assigned += cnt
+	}
+	// Remaining slots (including the "none" share) go to the largest
+	// fractional remainders; leftover slots stay "no co-mention".
+	sort.Slice(allocs, func(i, j int) bool {
+		return allocs[i].exact-float64(allocs[i].count) > allocs[j].exact-float64(allocs[j].count)
+	})
+	deck := make([]string, 0, n)
+	for _, a := range allocs {
+		for i := 0; i < a.count; i++ {
+			deck = append(deck, a.term)
+		}
+	}
+	for len(deck) < n {
+		deck = append(deck, "")
+	}
+	rng.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	next := 0
+	return func() (string, bool) {
+		t := deck[next%len(deck)]
+		next++
+		return t, t != ""
+	}
+}

@@ -1,0 +1,155 @@
+package websim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/search"
+)
+
+// SimEngine is a synthetic search engine over a shared corpus. Two
+// instances with different semantics and ranking stand in for AltaVista
+// and Google:
+//
+//   - "altavista" honors the NEAR operator (positional windows) and ranks
+//     by proximity-weighted term frequency;
+//   - "google" treats every query as a conjunction (paper footnote 1: "for
+//     search engines such as Google that do not explicitly support the
+//     'near' operator") and ranks by tf·idf times a static URL prior.
+//
+// Each engine also indexes a slightly different subset of the corpus, so
+// counts differ between engines as they did on the 1999 web.
+type SimEngine struct {
+	name     string
+	c        *Corpus
+	near     bool
+	coverage uint64 // page included iff hash(url|name)%100 < coverage
+}
+
+var _ search.Engine = (*SimEngine)(nil)
+
+// NewAltaVista builds the NEAR-capable engine over the corpus.
+func NewAltaVista(c *Corpus) *SimEngine {
+	return &SimEngine{name: "altavista", c: c, near: true, coverage: 94}
+}
+
+// NewGoogle builds the conjunctive engine over the corpus.
+func NewGoogle(c *Corpus) *SimEngine {
+	return &SimEngine{name: "google", c: c, near: false, coverage: 88}
+}
+
+// Name implements search.Engine.
+func (e *SimEngine) Name() string { return e.name }
+
+// includes reports whether the engine's crawl covers the page. High-prior
+// authority pages are always crawled; ordinary pages are covered
+// pseudo-randomly per engine, so the two engines' counts differ as they
+// did on the 1999 web.
+func (e *SimEngine) includes(pid int32) bool {
+	p := &e.c.Pages[pid]
+	prior := p.GPrior
+	if e.near {
+		prior = p.AVPrior
+	}
+	if prior >= 10 {
+		return true
+	}
+	return hash64(p.URL+"|"+e.name)%100 < e.coverage
+}
+
+// matches evaluates a query to its matching pages.
+func (e *SimEngine) matches(query string) []match {
+	pq := e.c.parseQuery(query)
+	if pq.Unknown || len(pq.Segments) == 0 {
+		return nil
+	}
+	terms := pq.terms()
+	if e.near && pq.HasNear {
+		return e.c.evalNEAR(terms, e.includes)
+	}
+	return e.c.evalAND(terms, e.includes)
+}
+
+// Count implements search.Engine: the total number of matching pages,
+// returned without materializing URLs (the cheap operation behind the
+// WebCount virtual table).
+func (e *SimEngine) Count(query string) (int64, error) {
+	return int64(len(e.matches(query))), nil
+}
+
+// Search implements search.Engine: the top-k pages by the engine's
+// ranking function, with 1-based ranks.
+func (e *SimEngine) Search(query string, k int) ([]search.Result, error) {
+	ms := e.matches(query)
+	type scored struct {
+		m     match
+		score float64
+	}
+	sc := make([]scored, len(ms))
+	for i, m := range ms {
+		p := &e.c.Pages[m.Page]
+		var s float64
+		if e.near {
+			// Proximity-weighted tf with the AV prior.
+			s = (float64(m.TF) + 4.0/float64(1+m.Span)) * p.AVPrior
+		} else {
+			// tf with the Google static prior (a crude PageRank stand-in).
+			s = float64(m.TF) * p.GPrior
+		}
+		sc[i] = scored{m: m, score: s}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return e.c.Pages[sc[i].m.Page].URL < e.c.Pages[sc[j].m.Page].URL
+	})
+	if k > 0 && len(sc) > k {
+		sc = sc[:k]
+	}
+	out := make([]search.Result, len(sc))
+	for i, s := range sc {
+		p := &e.c.Pages[s.m.Page]
+		out[i] = search.Result{URL: p.URL, Rank: i + 1, Date: p.Date, Score: s.score}
+	}
+	return out, nil
+}
+
+// Fetch implements search.Engine: it renders a deterministic HTML body for
+// the page, including links to related pages so that the crawler example
+// (Section 4.2) has a link graph to follow.
+func (e *SimEngine) Fetch(url string) (string, error) {
+	p, ok := e.c.PageByURL(url)
+	if !ok {
+		return "", search.ErrNotFound
+	}
+	var b strings.Builder
+	b.WriteString("<html><head><title>")
+	seen := make(map[int32]bool)
+	for _, t := range p.Toks {
+		if !seen[t.Term] && !strings.HasPrefix(e.c.terms[t.Term], "w") {
+			b.WriteString(e.c.terms[t.Term])
+			b.WriteByte(' ')
+			seen[t.Term] = true
+		}
+		if len(seen) >= 4 {
+			break
+		}
+	}
+	b.WriteString("</title></head><body>\n<p>")
+	for _, t := range p.Toks {
+		b.WriteString(e.c.terms[t.Term])
+		b.WriteByte(' ')
+	}
+	b.WriteString("</p>\n")
+	// Deterministic outgoing links.
+	pid := e.c.urlIdx[url]
+	n := int32(len(e.c.Pages))
+	for i := int32(1); i <= 3; i++ {
+		target := (pid + i*int32(hash64(url)%977+1)) % n
+		b.WriteString(fmt.Sprintf("<a href=\"%s\">link %d</a>\n", e.c.Pages[target].URL, i))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String(), nil
+}

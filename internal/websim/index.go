@@ -1,0 +1,240 @@
+package websim
+
+import (
+	"sort"
+	"strings"
+)
+
+// posting records a term's occurrences on one page.
+type posting struct {
+	Page      int32
+	Positions []uint16 // sorted
+}
+
+type postingList []posting
+
+// buildIndex constructs the inverted index over all pages.
+func (c *Corpus) buildIndex() {
+	c.post = make([]postingList, len(c.terms))
+	for pid := range c.Pages {
+		p := &c.Pages[pid]
+		// Group this page's occurrences by term.
+		sort.Slice(p.Toks, func(i, j int) bool {
+			if p.Toks[i].Term != p.Toks[j].Term {
+				return p.Toks[i].Term < p.Toks[j].Term
+			}
+			return p.Toks[i].Pos < p.Toks[j].Pos
+		})
+		i := 0
+		for i < len(p.Toks) {
+			j := i
+			for j < len(p.Toks) && p.Toks[j].Term == p.Toks[i].Term {
+				j++
+			}
+			positions := make([]uint16, 0, j-i)
+			for k := i; k < j; k++ {
+				positions = append(positions, p.Toks[k].Pos)
+			}
+			t := p.Toks[i].Term
+			c.post[t] = append(c.post[t], posting{Page: int32(pid), Positions: positions})
+			i = j
+		}
+	}
+}
+
+// NumPages returns the corpus size.
+func (c *Corpus) NumPages() int { return len(c.Pages) }
+
+// PageByURL returns the page with the given URL.
+func (c *Corpus) PageByURL(url string) (*Page, bool) {
+	id, ok := c.urlIdx[url]
+	if !ok {
+		return nil, false
+	}
+	return &c.Pages[id], true
+}
+
+// ---------------------------------------------------------------------------
+// Query parsing
+
+// ParsedQuery is a search expression decomposed into segments. Segments
+// were separated by the NEAR operator in the original expression; each
+// segment is a list of term ids (a phrase or keyword group).
+type ParsedQuery struct {
+	Segments [][]int32
+	// Unknown is set when a segment contained a word outside the corpus
+	// vocabulary; such queries match nothing (as on the real web, a
+	// nonsense keyword returns ~0 hits).
+	Unknown bool
+	HasNear bool
+}
+
+// parseQuery splits a query on the NEAR operator and greedily tokenizes
+// each segment against the corpus dictionary (longest phrase match first,
+// so "new mexico four corners" resolves to ["new mexico", "four corners"]).
+func (c *Corpus) parseQuery(q string) ParsedQuery {
+	var pq ParsedQuery
+	q = norm(q)
+	parts := strings.Split(q, " near ")
+	pq.HasNear = len(parts) > 1
+	for _, part := range parts {
+		part = strings.Trim(part, " \"'")
+		if part == "" {
+			continue
+		}
+		words := strings.Fields(part)
+		var seg []int32
+		for i := 0; i < len(words); {
+			matched := false
+			max := c.maxLen
+			if max > len(words)-i {
+				max = len(words) - i
+			}
+			for l := max; l >= 1; l-- {
+				phrase := strings.Join(words[i:i+l], " ")
+				if id, ok := c.dict[phrase]; ok {
+					seg = append(seg, id)
+					i += l
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				pq.Unknown = true
+				i++
+			}
+		}
+		if len(seg) > 0 {
+			pq.Segments = append(pq.Segments, seg)
+		}
+	}
+	return pq
+}
+
+// terms flattens the parsed query's term ids.
+func (pq ParsedQuery) terms() []int32 {
+	var out []int32
+	for _, seg := range pq.Segments {
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+
+// match is one page matching a query, with term-frequency and minimal-span
+// statistics for ranking.
+type match struct {
+	Page int32
+	TF   int
+	Span int // minimal window covering one occurrence of every term; 0 for single-term
+}
+
+// evalAND returns pages containing every query term, using postings-list
+// intersection. include filters pages per engine.
+func (c *Corpus) evalAND(terms []int32, include func(int32) bool) []match {
+	if len(terms) == 0 {
+		return nil
+	}
+	// Dedup terms; intersect smallest list first.
+	uniq := dedupTerms(terms)
+	lists := make([]postingList, len(uniq))
+	for i, t := range uniq {
+		if int(t) >= len(c.post) {
+			return nil
+		}
+		lists[i] = c.post[t]
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	var out []match
+	// Walk the smallest list; probe others by binary search.
+	for _, base := range lists[0] {
+		pid := base.Page
+		if include != nil && !include(pid) {
+			continue
+		}
+		tf := len(base.Positions)
+		ok := true
+		var allPositions [][]uint16
+		allPositions = append(allPositions, base.Positions)
+		for _, other := range lists[1:] {
+			idx := sort.Search(len(other), func(i int) bool { return other[i].Page >= pid })
+			if idx >= len(other) || other[idx].Page != pid {
+				ok = false
+				break
+			}
+			tf += len(other[idx].Positions)
+			allPositions = append(allPositions, other[idx].Positions)
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, match{Page: pid, TF: tf, Span: minSpan(allPositions)})
+	}
+	return out
+}
+
+// evalNEAR returns pages where, additionally, some occurrence of every
+// term falls within the near window (minimal span <= nearWindow per
+// adjacent pair, approximated by total span <= nearWindow*(k-1)).
+func (c *Corpus) evalNEAR(terms []int32, include func(int32) bool) []match {
+	cands := c.evalAND(terms, include)
+	k := len(dedupTerms(terms))
+	if k <= 1 {
+		return cands
+	}
+	limit := nearWindow * (k - 1)
+	out := cands[:0]
+	for _, m := range cands {
+		if m.Span <= limit {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func dedupTerms(terms []int32) []int32 {
+	seen := make(map[int32]bool, len(terms))
+	var out []int32
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// minSpan computes the size of the smallest window containing at least one
+// position from every list (the classic k-way merge sweep).
+func minSpan(lists [][]uint16) int {
+	if len(lists) <= 1 {
+		return 0
+	}
+	idx := make([]int, len(lists))
+	best := 1 << 30
+	for {
+		lo, hi := int(lists[0][idx[0]]), int(lists[0][idx[0]])
+		loList := 0
+		for i := 1; i < len(lists); i++ {
+			p := int(lists[i][idx[i]])
+			if p < lo {
+				lo, loList = p, i
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if hi-lo < best {
+			best = hi - lo
+		}
+		idx[loList]++
+		if idx[loList] >= len(lists[loList]) {
+			return best
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package websim
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datasets"
+)
+
+// The default corpus is shared across tests (building it takes a few
+// hundred ms).
+
+func countOf(t *testing.T, e *SimEngine, q string) int64 {
+	t.Helper()
+	n, err := e.Count(q)
+	if err != nil {
+		t.Fatalf("Count(%q): %v", q, err)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Corpus construction
+
+func TestCorpusDeterminism(t *testing.T) {
+	c1 := Build(Config{Seed: 7, Scale: 1})
+	c2 := Build(Config{Seed: 7, Scale: 1})
+	if c1.NumPages() != c2.NumPages() {
+		t.Fatalf("page counts differ: %d vs %d", c1.NumPages(), c2.NumPages())
+	}
+	for i := 0; i < c1.NumPages(); i += 997 {
+		if c1.Pages[i].URL != c2.Pages[i].URL {
+			t.Fatalf("page %d URL differs", i)
+		}
+	}
+	// Different seed differs.
+	c3 := Build(Config{Seed: 8, Scale: 1})
+	same := 0
+	for i := 0; i < 100 && i < c3.NumPages(); i++ {
+		if c3.Pages[i].Date == c1.Pages[i].Date {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds should produce different corpora")
+	}
+}
+
+func TestCorpusURLsUnique(t *testing.T) {
+	c := Default()
+	seen := make(map[string]bool, c.NumPages())
+	for _, p := range c.Pages {
+		if seen[p.URL] {
+			t.Fatalf("duplicate URL %s", p.URL)
+		}
+		seen[p.URL] = true
+	}
+}
+
+func TestPageByURL(t *testing.T) {
+	c := Default()
+	p, ok := c.PageByURL(c.Pages[17].URL)
+	if !ok || p != &c.Pages[17] {
+		t.Error("PageByURL identity")
+	}
+	if _, ok := c.PageByURL("www.nonexistent.example/x.html"); ok {
+		t.Error("unknown URL should miss")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Query parsing / tokenization
+
+func TestParseQueryPhrases(t *testing.T) {
+	c := Default()
+	pq := c.parseQuery("New Mexico near four corners")
+	if pq.Unknown || !pq.HasNear || len(pq.Segments) != 2 {
+		t.Fatalf("parse: %+v", pq)
+	}
+	if c.terms[pq.Segments[0][0]] != "new mexico" || c.terms[pq.Segments[1][0]] != "four corners" {
+		t.Errorf("greedy phrase match failed")
+	}
+	// Unknown word poisons the query.
+	pq = c.parseQuery("zzyzzx near California")
+	if !pq.Unknown {
+		t.Error("unknown word should mark query unknown")
+	}
+	// Case-insensitivity.
+	pq = c.parseQuery("CALIFORNIA")
+	if pq.Unknown || len(pq.Segments) != 1 {
+		t.Error("case-insensitive tokenization")
+	}
+}
+
+func TestUnknownTermReturnsZero(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	if n := countOf(t, av, "qqqqxyzzy"); n != 0 {
+		t.Errorf("unknown term count = %d", n)
+	}
+	res, err := av.Search("qqqqxyzzy", 5)
+	if err != nil || len(res) != 0 {
+		t.Errorf("unknown term search: %v %v", res, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// minSpan
+
+func TestMinSpan(t *testing.T) {
+	cases := []struct {
+		lists [][]uint16
+		want  int
+	}{
+		{[][]uint16{{5}}, 0},
+		{[][]uint16{{1, 10}, {4}}, 3},
+		{[][]uint16{{1, 100}, {2, 99}}, 1},
+		{[][]uint16{{1}, {50}, {100}}, 99},
+		{[][]uint16{{10, 20, 30}, {22}, {25}}, 5},
+	}
+	for _, c := range cases {
+		if got := minSpan(c.lists); got != c.want {
+			t.Errorf("minSpan(%v) = %d, want %d", c.lists, got, c.want)
+		}
+	}
+}
+
+func TestMinSpanProperty(t *testing.T) {
+	// The span must never exceed max-min of any single choice and is
+	// non-negative.
+	f := func(a, b []uint16) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		got := minSpan([][]uint16{a, b})
+		if got < 0 {
+			return false
+		}
+		// Brute force.
+		best := 1 << 30
+		for _, x := range a {
+			for _, y := range b {
+				d := int(x) - int(y)
+				if d < 0 {
+					d = -d
+				}
+				if d < best {
+					best = d
+				}
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine semantics
+
+func TestNearVsANDSemantics(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	g := NewGoogle(c)
+	// On AV, NEAR is stricter than AND would be; "California near computer"
+	// must be <= the conjunctive count of the same terms on AV. We can't
+	// query AV for plain AND (it treats multi-segment as NEAR), so check:
+	// near count <= single-term count.
+	nearCount := countOf(t, av, "California near computer")
+	caCount := countOf(t, av, "California")
+	if nearCount <= 0 || nearCount >= caCount {
+		t.Errorf("near=%d ca=%d", nearCount, caCount)
+	}
+	// Google ignores NEAR (treats as AND): its count for the same query is
+	// the conjunctive count and is >= AV's positional count scaled by
+	// coverage. At minimum it must be positive.
+	gCount := countOf(t, g, "California near computer")
+	if gCount <= 0 {
+		t.Error("google conjunctive count")
+	}
+}
+
+func TestEnginesDifferInCounts(t *testing.T) {
+	c := Default()
+	av, g := NewAltaVista(c), NewGoogle(c)
+	diff := 0
+	for _, s := range datasets.States[:10] {
+		if countOf(t, av, s.Name) != countOf(t, g, s.Name) {
+			diff++
+		}
+	}
+	if diff < 5 {
+		t.Errorf("engines should disagree on most counts (crawl coverage); only %d/10 differ", diff)
+	}
+}
+
+func TestSearchRankingContract(t *testing.T) {
+	c := Default()
+	for _, e := range []*SimEngine{NewAltaVista(c), NewGoogle(c)} {
+		res, err := e.Search("California", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 10 {
+			t.Fatalf("%s: want 10 results, got %d", e.Name(), len(res))
+		}
+		for i, r := range res {
+			if r.Rank != i+1 {
+				t.Errorf("%s: rank %d at position %d", e.Name(), r.Rank, i)
+			}
+			if i > 0 && res[i-1].Score < r.Score {
+				t.Errorf("%s: scores not descending", e.Name())
+			}
+			if r.Date == "" || !strings.HasPrefix(r.Date, "1999-") {
+				t.Errorf("%s: bad date %q", e.Name(), r.Date)
+			}
+		}
+		// k = 0 means unlimited; count matches Count().
+		all, _ := e.Search("Wyoming", 0)
+		n, _ := e.Count("Wyoming")
+		if int64(len(all)) != n {
+			t.Errorf("%s: search-all (%d) != count (%d)", e.Name(), len(all), n)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	r1, _ := av.Search("Texas", 5)
+	r2, _ := av.Search("Texas", 5)
+	for i := range r1 {
+		if r1[i].URL != r2[i].URL {
+			t.Fatal("search results must be deterministic")
+		}
+	}
+}
+
+func TestFetch(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	res, _ := av.Search("California", 1)
+	body, err := av.Fetch(res[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "<html>") || !strings.Contains(body, "href=") {
+		t.Errorf("fetch body should be HTML with links: %.100s", body)
+	}
+	if _, err := av.Fetch("www.missing.example/nope"); err == nil {
+		t.Error("fetch of unknown URL should error")
+	}
+	// Deterministic.
+	b2, _ := av.Fetch(res[0].URL)
+	if b2 != body {
+		t.Error("fetch must be deterministic")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Paper shapes (the Section 3.1 / 4.1 ground truth used by core tests)
+
+func TestQuery1Shape(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	want := []string{"California", "Washington", "New York", "Texas", "Michigan"}
+	counts := make(map[string]int64)
+	for _, s := range datasets.States {
+		counts[s.Name] = countOf(t, av, s.Name)
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return counts[names[i]] > counts[names[j]] })
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("Q1 top-5 = %v, want %v", names[:5], want)
+		}
+	}
+}
+
+func TestQuery3FourCornersShape(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	counts := make(map[string]int64)
+	for _, s := range datasets.States {
+		counts[s.Name] = countOf(t, av, s.Name+" near four corners")
+	}
+	order := datasets.FourCornersStates // CO > NM > AZ > UT
+	for i := 1; i < len(order); i++ {
+		if counts[order[i-1]] <= counts[order[i]] {
+			t.Errorf("four corners order violated: %s=%d <= %s=%d",
+				order[i-1], counts[order[i-1]], order[i], counts[order[i]])
+		}
+	}
+	// "Note the dramatic dropoff in Count between the first four results
+	// and the fifth."
+	fifth := int64(0)
+	for name, n := range counts {
+		skip := false
+		for _, fc := range order {
+			if fc == name {
+				skip = true
+			}
+		}
+		if !skip && n > fifth {
+			fifth = n
+		}
+	}
+	if counts[order[3]] < 3*fifth {
+		t.Errorf("dropoff too small: Utah=%d vs next=%d", counts[order[3]], fifth)
+	}
+}
+
+func TestKnuthShape(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	prev := int64(1 << 50)
+	for _, sig := range datasets.KnuthSigs {
+		n := countOf(t, av, sig+" near Knuth")
+		if n <= 0 || n >= prev {
+			t.Fatalf("Knuth ranking violated at %s (%d, prev %d)", sig, n, prev)
+		}
+		prev = n
+	}
+	// "For all other Sigs, Count is 0."
+	known := make(map[string]bool)
+	for _, s := range datasets.KnuthSigs {
+		known[s] = true
+	}
+	for _, sig := range datasets.Sigs {
+		if known[sig] {
+			continue
+		}
+		if n := countOf(t, av, sig+" near Knuth"); n != 0 {
+			t.Errorf("%s near Knuth = %d, want 0", sig, n)
+		}
+	}
+}
+
+func TestQuery6AgreedURLs(t *testing.T) {
+	c := Default()
+	av, g := NewAltaVista(c), NewGoogle(c)
+	agreed := make(map[string]string)
+	for _, s := range datasets.States {
+		ra, _ := av.Search(s.Name, 5)
+		rg, _ := g.Search(s.Name, 5)
+		in := make(map[string]bool)
+		for _, r := range ra {
+			in[r.URL] = true
+		}
+		for _, r := range rg {
+			if in[r.URL] {
+				agreed[s.Name] = r.URL
+			}
+		}
+	}
+	if len(agreed) != len(datasets.Query6States) {
+		t.Fatalf("agreements: %v", agreed)
+	}
+	for _, s := range datasets.Query6States {
+		if _, ok := agreed[s]; !ok {
+			t.Errorf("missing agreement for %s", s)
+		}
+	}
+}
+
+func TestAuthorityPagesTopRanked(t *testing.T) {
+	c := Default()
+	av := NewAltaVista(c)
+	// Indiana's agreed authority page is rank 1 on both engines.
+	res, _ := av.Search("Indiana", 1)
+	if len(res) != 1 || res[0].URL != "www.indiana.edu/copyright.html" {
+		t.Errorf("authority not top-ranked: %v", res)
+	}
+}
+
+// TestShapesSurviveScaleChange guards against the paper shapes being an
+// artifact of the default corpus scale: at scale 1 (half the pages) the
+// Query 1 and Query 2 orderings and the Knuth zeroes must still hold.
+func TestShapesSurviveScaleChange(t *testing.T) {
+	c := Build(Config{Seed: 1999, Scale: 1})
+	av := NewAltaVista(c)
+	count := func(q string) int64 {
+		n, err := av.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	q1 := []string{"California", "Washington", "New York", "Texas", "Michigan"}
+	for i := 1; i < len(q1); i++ {
+		if count(q1[i-1]) <= count(q1[i]) {
+			t.Errorf("scale-1 Q1 order violated at %s", q1[i])
+		}
+	}
+	// Michigan still above every other state.
+	mi := count("Michigan")
+	for _, s := range datasets.States {
+		inTop := false
+		for _, w := range q1 {
+			if w == s.Name {
+				inTop = true
+			}
+		}
+		if !inTop && count(s.Name) >= mi {
+			t.Errorf("scale-1: %s out-counts Michigan", s.Name)
+		}
+	}
+	if n := count("SIGUCCS near Knuth"); n != 0 {
+		t.Errorf("scale-1 Knuth zero violated: %d", n)
+	}
+}
