@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench table1 examples clean
+.PHONY: all build vet test check bench table1 examples clean
 
-all: build vet test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full gate: vet + the whole suite under the race detector. The concurrency
+# tests (shared-pump server, concurrent Exec) only bite with -race.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # testing.B versions of every table/figure + ablations (see bench_test.go).
 bench:

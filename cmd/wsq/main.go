@@ -9,6 +9,7 @@
 // Usage:
 //
 //	wsq [-db DIR] [-latency 250ms] [-sync] [-av-url URL] [-google-url URL] [-e QUERY]
+//	wsq -server http://127.0.0.1:8080 [-timeout 30s] [-e QUERY]   # remote mode against wsqd
 //
 // Shell commands:
 //
@@ -22,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/search"
+	"repro/internal/server"
 	"repro/internal/websim"
 )
 
@@ -41,8 +44,15 @@ func main() {
 	avURL := flag.String("av-url", "", "URL of a websearchd altavista endpoint (default: in-process)")
 	gURL := flag.String("google-url", "", "URL of a websearchd google endpoint (default: in-process)")
 	cacheSize := flag.Int("cache", 0, "search-result cache capacity (0 = disabled)")
+	serverURL := flag.String("server", "", "URL of a running wsqd; queries are shipped there instead of executing in-process")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline in remote mode")
 	query := flag.String("e", "", "execute one query and exit")
 	flag.Parse()
+
+	if *serverURL != "" {
+		remoteShell(server.NewClient(*serverURL), *timeout, *query)
+		return
+	}
 
 	if *dir == "" {
 		tmp, err := os.MkdirTemp("", "wsq-*")
@@ -104,6 +114,68 @@ func main() {
 		}
 		if err := runStatement(db, line); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+// remoteShell is the -server mode: the same REPL, but every statement is
+// shipped to a wsqd daemon over HTTP. `.stats` renders the daemon's
+// /statusz snapshot.
+func remoteShell(cl *server.Client, timeout time.Duration, query string) {
+	ctx := context.Background()
+	runRemote := func(sql string) error {
+		start := time.Now()
+		res, err := cl.Query(ctx, sql, timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("elapsed: %v (server %.1fms), external calls: %d\n",
+			time.Since(start).Round(time.Millisecond), res.ElapsedMS, res.ExternalCalls)
+		return nil
+	}
+	if query != "" {
+		if err := runRemote(query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println("WSQ/DSQ shell — remote mode (wsqd)")
+	fmt.Println(".stats for server status  |  .quit to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("wsq[remote]> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".stats":
+			st, err := cl.Status(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Printf("queries: total=%d active=%d queued=%d failed=%d rejected=%d timed-out=%d\n",
+				st.Queries.Total, st.Queries.Active, st.Queries.Queued,
+				st.Queries.Failed, st.Queries.Rejected, st.Queries.TimedOut)
+			fmt.Printf("latency: p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms (n=%d)\n",
+				st.Queries.LatencyMS.P50, st.Queries.LatencyMS.P90,
+				st.Queries.LatencyMS.P99, st.Queries.LatencyMS.Max, st.Queries.LatencyMS.Count)
+			fmt.Printf("pump: registered=%d started=%d completed=%d coalesced=%d canceled=%d max-concurrent=%d active=%d\n",
+				st.Pump.Registered, st.Pump.Started, st.Pump.Completed,
+				st.Pump.Coalesced, st.Pump.Canceled, st.Pump.MaxActive, st.Pump.Active)
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintf(os.Stderr, "remote mode supports .stats and .quit only\n")
+		default:
+			if err := runRemote(line); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
 		}
 	}
 }

@@ -11,16 +11,23 @@
 //	wsqbench -sweep-concurrency       # ablation: improvement vs pump limit
 //	wsqbench -sweep-cache             # ablation: result cache on/off
 //	wsqbench -http                    # engine calls over localhost HTTP
+//	wsqbench -serve -clients 8        # drive N concurrent clients at a wsqd
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/search"
+	"repro/internal/server"
 )
 
 func main() {
@@ -34,6 +41,11 @@ func main() {
 	maxDest := flag.Int("max-per-dest", 0, "pump per-destination limit (0 = default)")
 	sweepConc := flag.Bool("sweep-concurrency", false, "ablation: sweep the per-destination limit")
 	sweepCache := flag.Bool("sweep-cache", false, "ablation: compare cache off/on")
+	serve := flag.Bool("serve", false, "serving-mode load test: N concurrent clients against one wsqd")
+	clients := flag.Int("clients", 8, "-serve: number of concurrent clients")
+	duration := flag.Duration("duration", 5*time.Second, "-serve: load duration per phase")
+	serverURL := flag.String("server-url", "", "-serve: target an external wsqd (default: in-process)")
+	cacheSize := flag.Int("serve-cache", 4096, "-serve: result cache capacity for the in-process wsqd")
 	flag.Parse()
 
 	model := search.BenchLatency()
@@ -45,6 +57,8 @@ func main() {
 	}
 
 	switch {
+	case *serve:
+		serveBench(model, *clients, *duration, *serverURL, *cacheSize, *maxTotal, *maxDest)
 	case *sweepConc:
 		sweepConcurrency(model, *instances, *useHTTP)
 	case *sweepCache:
@@ -52,6 +66,105 @@ func main() {
 	default:
 		table1(model, *template, *runs, *instances, *useHTTP, *maxTotal, *maxDest)
 	}
+}
+
+// serveBench demonstrates cross-query call sharing: N concurrent clients
+// fire Template-1 queries at one wsqd, whose single ReqPump bounds and
+// coalesces all their external calls. A 1-client phase establishes the
+// baseline; the N-client phase shows aggregate throughput scaling while
+// the pump's MaxActive never exceeds its configured limit.
+func serveBench(model search.LatencyModel, clients int, duration time.Duration, url string, cacheSize, maxTotal, maxDest int) {
+	if url == "" {
+		env := newEnv(model, false, maxTotal, maxDest, cacheSize)
+		defer env.Close()
+		srv := server.New(env.DB, server.Options{MaxConcurrentQueries: 4 * clients})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		url = "http://" + ln.Addr().String()
+		fmt.Printf("in-process wsqd on %s (latency %v+%v, cache %d)\n", url, model.Base, model.Jitter, cacheSize)
+	}
+	cl := server.NewClient(url)
+
+	queries := template1Pool()
+	fmt.Printf("workload: template-1 queries, %d distinct constants, %v per phase\n\n", len(queries), duration)
+
+	base := drive(cl, 1, duration, queries)
+	fmt.Printf("%2d client:  %6d ok  %4d rejected  %4d errors  %8.1f q/s\n",
+		1, base.ok, base.rejected, base.errors, base.qps)
+	load := drive(cl, clients, duration, queries)
+	fmt.Printf("%2d clients: %6d ok  %4d rejected  %4d errors  %8.1f q/s  (%.1fx aggregate)\n",
+		clients, load.ok, load.rejected, load.errors, load.qps, load.qps/base.qps)
+
+	st, err := cl.Status(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nshared pump: registered=%d started=%d coalesced=%d cache-hits=%d max-concurrent=%d\n",
+		st.Pump.Registered, st.Pump.Started, st.Pump.Coalesced, st.Pump.CacheHits, st.Pump.MaxActive)
+	fmt.Printf("server latency: p50=%.1fms p90=%.1fms p99=%.1fms (n=%d)\n",
+		st.Queries.LatencyMS.P50, st.Queries.LatencyMS.P90, st.Queries.LatencyMS.P99, st.Queries.LatencyMS.Count)
+	saved := st.Pump.Coalesced + st.Pump.CacheHits
+	if st.Pump.Registered > 0 {
+		fmt.Printf("cross-query sharing: %d of %d registrations (%.0f%%) never hit the network\n",
+			saved, st.Pump.Registered, 100*float64(saved)/float64(st.Pump.Registered))
+	}
+}
+
+// template1Pool instantiates one Template-1 query per available constant.
+func template1Pool() []string {
+	qs, err := harness.TemplateQueries(1, 1, 8)
+	if err != nil {
+		fatal(err)
+	}
+	more, err := harness.TemplateQueries(1, 2, 8)
+	if err == nil {
+		qs = append(qs, more...)
+	}
+	return qs
+}
+
+type loadResult struct {
+	ok, rejected, errors int64
+	qps                  float64
+}
+
+// drive runs n clients round-robin over the query pool for d.
+func drive(cl *server.Client, n int, d time.Duration, queries []string) loadResult {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var mu sync.Mutex
+	var res loadResult
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := id; ctx.Err() == nil; j++ {
+				_, err := cl.Query(ctx, queries[j%len(queries)], d)
+				mu.Lock()
+				switch {
+				case err == nil:
+					res.ok++
+				case ctx.Err() != nil:
+					// phase over; don't count the aborted request
+				case errors.Is(err, server.ErrOverloaded):
+					res.rejected++
+				default:
+					res.errors++
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.qps = float64(res.ok) / time.Since(start).Seconds()
+	return res
 }
 
 func newEnv(model search.LatencyModel, useHTTP bool, maxTotal, maxDest, cacheSize int) *harness.Env {

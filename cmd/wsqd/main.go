@@ -1,0 +1,108 @@
+// Command wsqd is the WSQ query daemon: one shared database, many
+// concurrent clients, a single global ReqPump dividing the external-call
+// budget across all of them (Section 4.1's multi-user resource control).
+//
+// By default it runs self-contained with in-process synthetic engines and
+// the paper's tables preloaded; pass -av-url/-google-url to target a
+// running websearchd instead.
+//
+// Usage:
+//
+//	wsqd [-addr :8080] [-latency 25ms] [-cache 4096] [-max-queries 32]
+//	     [-queue-depth 64] [-max-concurrent 64] [-max-per-dest 32]
+//	     [-timeout 30s] [-allow-writes] [-db DIR]
+//	     [-av-url URL -google-url URL]
+//
+// API:
+//
+//	POST /query   {"sql": "...", "timeout_ms": 500}  -> columns + rows
+//	GET  /query?q=SELECT...                          -> same
+//	GET  /statusz                                    -> pump/cache/latency stats
+//	GET  /healthz                                    -> liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/search"
+	"repro/internal/server"
+	"repro/internal/websim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	dir := flag.String("db", "", "database directory (default: a temp dir)")
+	latency := flag.Duration("latency", 25*time.Millisecond, "simulated search latency (in-process engines)")
+	cacheSize := flag.Int("cache", 4096, "search-result cache capacity (0 = disabled)")
+	maxQueries := flag.Int("max-queries", 32, "max concurrently executing queries")
+	queueDepth := flag.Int("queue-depth", 64, "max queries waiting for admission (overflow gets 503)")
+	maxTotal := flag.Int("max-concurrent", 0, "pump total external-call limit (0 = default)")
+	maxDest := flag.Int("max-per-dest", 0, "pump per-destination limit (0 = default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	allowWrites := flag.Bool("allow-writes", false, "permit CREATE/DROP/INSERT through /query")
+	avURL := flag.String("av-url", "", "URL of a websearchd altavista endpoint (default: in-process)")
+	gURL := flag.String("google-url", "", "URL of a websearchd google endpoint (default: in-process)")
+	flag.Parse()
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "wsqd-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+
+	db, err := core.Open(core.Config{
+		Dir:                *dir,
+		Async:              true,
+		MaxConcurrentCalls: *maxTotal,
+		MaxCallsPerDest:    *maxDest,
+		CacheSize:          *cacheSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *avURL != "" || *gURL != "" {
+		if *avURL == "" || *gURL == "" {
+			fatal(fmt.Errorf("pass both -av-url and -google-url or neither"))
+		}
+		db.RegisterEngine(search.NewClient("altavista", *avURL), "AV")
+		db.RegisterEngine(search.NewClient("google", *gURL), "G")
+	} else {
+		corpus := websim.Default()
+		model := search.LatencyModel{Base: *latency, Jitter: *latency / 2, CountFactor: 0.8}
+		db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), model, 1), "AV")
+		db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), model, 2), "G")
+	}
+	if err := harness.LoadPaperTables(db); err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(db, server.Options{
+		MaxConcurrentQueries: *maxQueries,
+		MaxQueueDepth:        *queueDepth,
+		DefaultTimeout:       *timeout,
+		AllowWrites:          *allowWrites,
+	})
+	log.Printf("wsqd listening on http://%s (max-queries=%d queue-depth=%d cache=%d writes=%v)",
+		*addr, *maxQueries, *queueDepth, *cacheSize, *allowWrites)
+	log.Printf("try: curl 'http://%s/query?q=SELECT+Name,+Count+FROM+States,+WebCount+WHERE+Name+%%3D+T1+LIMIT+3'", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wsqd: %v\n", err)
+	os.Exit(1)
+}

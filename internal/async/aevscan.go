@@ -55,7 +55,10 @@ func (s *AEVScan) Open(ctx *exec.Context) error {
 	s.args = args
 	ctx.Stats.ExternalCalls++
 	src := s.Source
-	s.callID = s.Pump.Register(src.Destination(), src.CacheKey(args), func() ([]types.Tuple, error) {
+	// Registering under the execution context ties the call's lifetime to
+	// the query: if the deadline expires while the call is still queued,
+	// the pump drops it without consuming a slot.
+	s.callID = s.Pump.RegisterCtx(ctx.Ctx, src.Destination(), src.CacheKey(args), func() ([]types.Tuple, error) {
 		return src.Call(args)
 	})
 	s.emitted = false

@@ -7,12 +7,20 @@
 package async
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/types"
 )
+
+// ErrPumpClosed is returned (wrapped) by pump operations that find the
+// pump shut down while calls are still pending. Waiters must treat it as
+// a terminal error for their query, not a panic: a server closes the pump
+// only on shutdown, and queries draining at that moment fail cleanly.
+var ErrPumpClosed = errors.New("request pump closed")
 
 // CallResult is a completed external call's outcome, parked in the pump's
 // result table (the paper's ReqPumpHash) until the owning ReqSync consumes
@@ -34,6 +42,11 @@ type CallResult struct {
 // the idiomatic equivalent of cheap asynchronous I/O is a bounded set of
 // goroutines, which is what this implementation uses; the interface —
 // register, poll, await — is the paper's.
+//
+// One pump is shared by every query of a DB, including the many concurrent
+// queries of a wsqd server: the limits are global resource-control knobs,
+// so competing queries divide the same call budget exactly as Section 4.1
+// envisions for a multi-user system.
 type Pump struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -50,7 +63,11 @@ type Pump struct {
 	queue       []*pumpCall
 	results     map[types.CallID]CallResult
 	done        map[types.CallID]bool
-	cache       exec.ResultCache
+	// discarded records ids whose owner abandoned them while the call was
+	// still queued-or-running; run() drops their results instead of parking
+	// them forever (a leak under a long-lived server).
+	discarded map[types.CallID]bool
+	cache     exec.ResultCache
 	// inflight coalesces duplicate in-flight calls: all CallIDs registered
 	// for a key while its first execution is still running share that one
 	// execution. Only enabled together with the result cache ([HN96]) —
@@ -64,12 +81,14 @@ type Pump struct {
 	completed  int64
 	cacheHits  int64
 	coalesced  int64
+	canceled   int64
 	maxActive  int
 	closed     bool
 }
 
 type pumpCall struct {
 	id   types.CallID
+	ctx  context.Context
 	dest string
 	key  string
 	fn   func() ([]types.Tuple, error)
@@ -98,6 +117,7 @@ func NewPump(maxTotal, maxPerDest int, cache exec.ResultCache) *Pump {
 		activeDest: make(map[string]int),
 		results:    make(map[types.CallID]CallResult),
 		done:       make(map[types.CallID]bool),
+		discarded:  make(map[types.CallID]bool),
 		cache:      cache,
 		inflight:   make(map[string][]types.CallID),
 		destLimit:  make(map[string]int),
@@ -110,11 +130,38 @@ func NewPump(maxTotal, maxPerDest int, cache exec.ResultCache) *Pump {
 // immediately; the call runs as soon as the concurrency limits allow. The
 // caller later claims the outcome with Take (typically from a ReqSync).
 func (p *Pump) Register(dest, key string, fn func() ([]types.Tuple, error)) types.CallID {
+	return p.RegisterCtx(context.Background(), dest, key, fn)
+}
+
+// RegisterCtx is Register with a cancellation scope: if ctx expires while
+// the call is still queued, the call is dropped without consuming a slot
+// and completes with ctx's error. An already-running call is not
+// interrupted (the Engine interface is not context-aware), but its result
+// is discarded if its owner has abandoned it.
+func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]types.Tuple, error)) types.CallID {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nextID++
 	id := p.nextID
 	p.registered++
+	if p.closed {
+		// A closed pump never runs anything; complete immediately with the
+		// sentinel so the waiter errors instead of hanging.
+		p.results[id] = CallResult{Err: fmt.Errorf("register: %w", ErrPumpClosed)}
+		p.done[id] = true
+		p.cond.Broadcast()
+		return id
+	}
+	if err := ctx.Err(); err != nil {
+		p.canceled++
+		p.results[id] = CallResult{Err: err}
+		p.done[id] = true
+		p.cond.Broadcast()
+		return id
+	}
 	if p.cache != nil {
 		if rows, ok := p.cache.Get(key); ok {
 			p.cacheHits++
@@ -131,20 +178,25 @@ func (p *Pump) Register(dest, key string, fn func() ([]types.Tuple, error)) type
 		}
 		p.inflight[key] = []types.CallID{id}
 	}
-	p.queue = append(p.queue, &pumpCall{id: id, dest: dest, key: key, fn: fn})
+	p.queue = append(p.queue, &pumpCall{id: id, ctx: ctx, dest: dest, key: key, fn: fn})
 	p.dispatchLocked()
 	return id
 }
 
-// dispatchLocked starts every queued call the limits allow. Callers hold
-// p.mu.
+// dispatchLocked starts every queued call the limits allow, dropping
+// queued calls whose context has already expired. Callers hold p.mu.
 func (p *Pump) dispatchLocked() {
 	i := 0
 	for i < len(p.queue) {
+		c := p.queue[i]
+		if err := c.ctx.Err(); err != nil {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.settleUnstartedLocked(c, err)
+			continue
+		}
 		if p.activeTotal >= p.maxTotal {
 			return
 		}
-		c := p.queue[i]
 		if p.activeDest[c.dest] >= p.limitFor(c.dest) {
 			i++ // skip; a later call for another destination may fit
 			continue
@@ -158,6 +210,27 @@ func (p *Pump) dispatchLocked() {
 		}
 		go p.run(c)
 	}
+}
+
+// settleUnstartedLocked completes a call that never ran (canceled while
+// queued, or orphaned by Close) with err, for its own id and any ids
+// coalesced onto it. Callers hold p.mu.
+func (p *Pump) settleUnstartedLocked(c *pumpCall, err error) {
+	p.canceled++
+	ids := []types.CallID{c.id}
+	if co, ok := p.inflight[c.key]; ok {
+		ids = co
+		delete(p.inflight, c.key)
+	}
+	for _, id := range ids {
+		if p.discarded[id] {
+			delete(p.discarded, id)
+			continue
+		}
+		p.results[id] = CallResult{Err: err}
+		p.done[id] = true
+	}
+	p.cond.Broadcast()
 }
 
 // run executes one call and parks its result — for the registering CallID
@@ -175,13 +248,19 @@ func (p *Pump) run(c *pumpCall) {
 		delete(p.inflight, c.key)
 	}
 	for _, id := range ids {
+		if p.discarded[id] {
+			delete(p.discarded, id)
+			continue
+		}
 		p.results[id] = CallResult{Rows: rows, Err: err}
 		p.done[id] = true
 	}
 	p.completed++
 	p.activeTotal--
 	p.activeDest[c.dest]--
-	p.dispatchLocked()
+	if !p.closed {
+		p.dispatchLocked()
+	}
 	p.cond.Broadcast()
 }
 
@@ -224,40 +303,113 @@ func (p *Pump) Take(id types.CallID) (CallResult, bool) {
 // completed and returns its id. It is the producer/consumer handshake of
 // Section 4.1: each completing pump call signals waiting ReqSyncs.
 func (p *Pump) AwaitAny(ids map[types.CallID]bool) (types.CallID, error) {
+	return p.AwaitAnyCtx(context.Background(), ids)
+}
+
+// AwaitAnyCtx is AwaitAny bounded by a context: it additionally wakes and
+// returns ctx's error when the context expires, so a query deadline
+// propagates to a ReqSync blocked on slow external calls. A closed pump
+// wakes waiters with ErrPumpClosed (wrapped) rather than hanging them.
+func (p *Pump) AwaitAnyCtx(ctx context.Context, ids map[types.CallID]bool) (types.CallID, error) {
 	if len(ids) == 0 {
 		return 0, fmt.Errorf("AwaitAny with no pending calls")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Done() != nil {
+		// Wake the condition variable when the context fires. Broadcasting
+		// under p.mu guarantees the waiter is either before its ctx check
+		// (sees the error) or parked in Wait (receives the broadcast) —
+		// no missed-wakeup window.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			case <-stop:
+			}
+		}()
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		for id := range ids {
 			if p.done[id] {
 				return id, nil
 			}
 		}
 		if p.closed {
-			return 0, fmt.Errorf("request pump closed while %d calls pending", len(ids))
+			return 0, fmt.Errorf("%w while %d calls pending", ErrPumpClosed, len(ids))
 		}
 		p.cond.Wait()
 	}
 }
 
-// Discard abandons interest in a call (e.g. the query errored elsewhere);
-// a completed result is dropped, a pending call completes into the void
-// and is dropped on the next Discard/Take sweep.
+// Discard abandons interest in a call (e.g. the query errored elsewhere or
+// its deadline expired): a completed result is dropped, a still-queued call
+// is removed from the queue without ever consuming a slot, and a running
+// call completes into the void. Coalesced siblings of a queued call are
+// unaffected — the call still runs for them.
 func (p *Pump) Discard(id types.CallID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	delete(p.results, id)
-	delete(p.done, id)
+	if p.done[id] {
+		delete(p.results, id)
+		delete(p.done, id)
+		return
+	}
+	// Not done: the call is queued, running, or coalesced onto one of
+	// those. Remove a queued call outright when this id is its only owner.
+	for i, c := range p.queue {
+		if c.id != id {
+			continue
+		}
+		if co, ok := p.inflight[c.key]; ok && len(co) > 1 {
+			break // other queries still want this call; let it run
+		}
+		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		delete(p.inflight, c.key)
+		p.canceled++
+		return
+	}
+	// Running (or coalesced): mark so run()/settle drops this id's result.
+	p.discarded[id] = true
+	// Drop the id from any coalesce list so a future settle doesn't
+	// resurrect it.
+	for key, co := range p.inflight {
+		for i, cid := range co {
+			if cid == id {
+				p.inflight[key] = append(co[:i], co[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
-// Close wakes all waiters with an error; it does not cancel in-flight
-// calls (they complete into the result table and are garbage).
+// Close shuts the pump down: queued calls that never started complete with
+// ErrPumpClosed, waiters wake with the same sentinel, and in-flight calls
+// finish into the result table as garbage. Close is idempotent and safe to
+// call while queries are still draining — they observe clean errors rather
+// than hanging or panicking.
 func (p *Pump) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
 	p.closed = true
+	queued := p.queue
+	p.queue = nil
+	for _, c := range queued {
+		p.settleUnstartedLocked(c, fmt.Errorf("call never started: %w", ErrPumpClosed))
+	}
 	p.cond.Broadcast()
 }
 
@@ -274,6 +426,9 @@ type Stats struct {
 	Started int64
 	// Completed counts finished executions.
 	Completed int64
+	// Canceled counts calls dropped before starting (context expiry,
+	// discard, or pump shutdown).
+	Canceled int64
 	// MaxActive is the peak number of concurrently running calls.
 	MaxActive int
 }
@@ -288,13 +443,38 @@ func (p *Pump) Stats() Stats {
 		Coalesced:  p.coalesced,
 		Started:    p.started,
 		Completed:  p.completed,
+		Canceled:   p.canceled,
 		MaxActive:  p.maxActive,
 	}
+}
+
+// Active reports the instantaneous load: calls currently running against
+// external destinations and calls parked in the admission queue. A fully
+// drained pump reports (0, 0).
+func (p *Pump) Active() (running, queued int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activeTotal, len(p.queue)
+}
+
+// DestActive snapshots the per-destination in-flight gauges — the
+// "one counter for each external destination" of Section 4.1, exposed for
+// the server's /statusz page.
+func (p *Pump) DestActive() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.activeDest))
+	for d, n := range p.activeDest {
+		if n > 0 {
+			out[d] = n
+		}
+	}
+	return out
 }
 
 // ResetStats zeroes the counters between experiment runs.
 func (p *Pump) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.registered, p.cacheHits, p.coalesced, p.started, p.completed, p.maxActive = 0, 0, 0, 0, 0, 0
+	p.registered, p.cacheHits, p.coalesced, p.started, p.completed, p.canceled, p.maxActive = 0, 0, 0, 0, 0, 0, 0
 }

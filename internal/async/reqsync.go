@@ -202,8 +202,10 @@ func (r *ReqSync) Next(ctx *exec.Context) (types.Tuple, bool, error) {
 			return nil, false, nil
 		}
 		// Consume completed calls without blocking where possible, then
-		// block for the next completion.
-		id, err := r.Pump.AwaitAny(r.pendingIDs())
+		// block for the next completion. The execution context bounds the
+		// wait: a query deadline wakes the ReqSync with the ctx error, and
+		// Close then disowns the still-pending calls.
+		id, err := r.Pump.AwaitAnyCtx(ctx.Ctx, r.pendingIDs())
 		if err != nil {
 			return nil, false, err
 		}

@@ -19,8 +19,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/async"
 	"repro/internal/cache"
@@ -61,7 +64,10 @@ type Config struct {
 	StreamingReqSync bool
 }
 
-// DB is an open WSQ database.
+// DB is an open WSQ database. It is safe for concurrent use: any number of
+// SELECTs may execute at once (sharing the catalog, buffer pools, result
+// cache, and the one global request pump), while DDL and INSERT statements
+// take the database exclusively.
 type DB struct {
 	cfg     Config
 	cat     *catalog.Catalog
@@ -70,6 +76,13 @@ type DB struct {
 	cache   *cache.Cache
 	pump    *async.Pump
 	planner *plan.Planner
+
+	// async toggles asynchronous iteration; atomic so SetAsync can race
+	// with concurrent query planning without a lock.
+	async atomic.Bool
+	// mu serializes writers (CREATE/DROP/INSERT mutate catalog state and
+	// heap pages) against concurrently running readers (SELECT/UNION).
+	mu sync.RWMutex
 }
 
 // Result is a fully materialized query result.
@@ -103,6 +116,7 @@ func Open(cfg Config) (*DB, error) {
 		cache:   c,
 		pump:    async.NewPump(cfg.MaxConcurrentCalls, cfg.MaxCallsPerDest, rc),
 	}
+	db.async.Store(cfg.Async)
 	db.planner = plan.New(cat, vt)
 	db.planner.Cache = rc
 	if cfg.DefaultRankLimit > 0 {
@@ -136,45 +150,63 @@ func (db *DB) Pump() *async.Pump { return db.pump }
 func (db *DB) Cache() *cache.Cache { return db.cache }
 
 // SetAsync toggles asynchronous iteration for subsequent SELECTs.
-func (db *DB) SetAsync(on bool) { db.cfg.Async = on }
+func (db *DB) SetAsync(on bool) { db.async.Store(on) }
 
 // Async reports whether asynchronous iteration is enabled.
-func (db *DB) Async() bool { return db.cfg.Async }
+func (db *DB) Async() bool { return db.async.Load() }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement with no deadline.
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes one SQL statement under ctx: deadline
+// expiry or cancellation aborts execution, dropping any external calls the
+// statement still has queued in the request pump.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch s := st.(type) {
 	case *sqlparse.CreateTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
 		return db.execCreate(s)
 	case *sqlparse.DropTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
 		if err := db.cat.Drop(s.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *sqlparse.Insert:
+		db.mu.Lock()
+		defer db.mu.Unlock()
 		return db.execInsert(s)
 	case *sqlparse.Select:
-		return db.runQueryable(s)
+		return db.runQueryable(ctx, s)
 	case *sqlparse.Union:
-		return db.runQueryable(s)
+		return db.runQueryable(ctx, s)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", st)
 	}
 }
 
-// Query executes a SELECT (or UNION of SELECTs).
+// Query executes a SELECT (or UNION of SELECTs) with no deadline.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext executes a SELECT (or UNION of SELECTs) under ctx.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch st.(type) {
 	case *sqlparse.Select, *sqlparse.Union:
-		return db.runQueryable(st)
+		return db.runQueryable(ctx, st)
 	default:
 		return nil, fmt.Errorf("expected a query, got %T", st)
 	}
@@ -233,7 +265,7 @@ func (db *DB) planStatement(st sqlparse.Statement) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if db.cfg.Async {
+	if db.async.Load() {
 		op = async.Rewrite(op, db.pump)
 		if db.cfg.StreamingReqSync {
 			setStreaming(op)
@@ -251,12 +283,14 @@ func setStreaming(op exec.Operator) {
 	}
 }
 
-func (db *DB) runQueryable(st sqlparse.Statement) (*Result, error) {
+func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	op, err := db.planStatement(st)
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewContext()
+	ctx := exec.NewContextWith(goCtx)
 	rows, err := exec.Run(ctx, op)
 	if err != nil {
 		return nil, err
@@ -282,7 +316,7 @@ func (db *DB) Explain(sql string) (string, error) {
 	var b strings.Builder
 	b.WriteString("-- input plan --\n")
 	b.WriteString(exec.Explain(op))
-	if db.cfg.Async {
+	if db.async.Load() {
 		op = async.Rewrite(op, db.pump)
 		b.WriteString("-- asynchronous iteration plan --\n")
 		b.WriteString(exec.Explain(op))

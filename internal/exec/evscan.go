@@ -100,6 +100,13 @@ func (s *EVScan) Open(ctx *Context) error {
 			return nil
 		}
 	}
+	// A synchronous scan is about to block for the call's full latency;
+	// don't start it if the query's deadline has already passed.
+	if ctx.Ctx != nil {
+		if err := ctx.Ctx.Err(); err != nil {
+			return err
+		}
+	}
 	ctx.Stats.ExternalCalls++
 	rows, err := s.Source.Call(args)
 	if err != nil {

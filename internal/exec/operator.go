@@ -12,6 +12,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,16 +22,28 @@ import (
 )
 
 // Context carries per-execution state shared by all operators of one plan:
-// the correlated-binding environment used by dependent joins and counters
-// for tests and EXPLAIN ANALYZE-style diagnostics.
+// the correlated-binding environment used by dependent joins, the
+// cancellation scope, and counters for tests and EXPLAIN ANALYZE-style
+// diagnostics.
 type Context struct {
+	// Ctx bounds the execution: operators that block (external calls, pump
+	// waits) or loop (Run) honor its deadline and cancellation. Never nil.
+	Ctx   context.Context
 	Env   *expr.Env
 	Stats Stats
 }
 
-// NewContext returns a fresh execution context.
+// NewContext returns a fresh execution context with no deadline.
 func NewContext() *Context {
-	return &Context{Env: &expr.Env{}}
+	return NewContextWith(context.Background())
+}
+
+// NewContextWith returns a fresh execution context bounded by ctx.
+func NewContextWith(ctx context.Context) *Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Context{Ctx: ctx, Env: &expr.Env{}}
 }
 
 // Stats counts executor events of interest to tests and benchmarks.
@@ -70,6 +83,12 @@ func Run(ctx *Context, op Operator) ([]types.Tuple, error) {
 	}
 	var out []types.Tuple
 	for {
+		if ctx.Ctx != nil {
+			if err := ctx.Ctx.Err(); err != nil {
+				op.Close()
+				return nil, err
+			}
+		}
 		t, ok, err := op.Next(ctx)
 		if err != nil {
 			op.Close()

@@ -129,8 +129,14 @@ func (d *Delayed) Stats() (requests int64, maxInFlight int) {
 }
 
 // ResetStats clears the concurrency statistics between experiment runs.
+// It takes the same mutex as the request path (enter/exit), so it is safe
+// while requests are in flight: the inFlight gauge is preserved — zeroing
+// it mid-request would let the paired exit() drive it negative and corrupt
+// maxInFlight for every later run — and the high-water mark restarts from
+// the current concurrency.
 func (d *Delayed) ResetStats() {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
-	d.inFlight, d.maxInFlight, d.requests = 0, 0, 0
+	d.maxInFlight = d.inFlight
+	d.requests = 0
 }

@@ -240,3 +240,41 @@ func TestHTTPConcurrentRequests(t *testing.T) {
 		t.Errorf("server-side concurrency: %d", maxInFlight)
 	}
 }
+
+// TestDelayedResetStatsMidFlight races ResetStats/Stats against in-flight
+// requests (run with -race). The inFlight gauge must survive a mid-request
+// reset: the paired exit() may not drive it negative, and the high-water
+// mark must keep tracking real concurrency afterwards.
+func TestDelayedResetStatsMidFlight(t *testing.T) {
+	d := NewDelayed(&memEngine{name: "m"}, LatencyModel{Base: 5 * time.Millisecond}, 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					d.Count("x")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		time.Sleep(2 * time.Millisecond)
+		d.ResetStats()
+		if _, m := d.Stats(); m < 0 {
+			t.Fatalf("maxInFlight went negative: %d", m)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	d.ResetStats()
+	d.Count("x")
+	if r, m := d.Stats(); r != 1 || m < 1 {
+		t.Errorf("after quiescent reset: requests=%d maxInFlight=%d, want 1/>=1", r, m)
+	}
+}

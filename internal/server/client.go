@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a running wsqd server. It is safe for concurrent use and
+// pools connections aggressively — a load generator drives many concurrent
+// queries against the same host.
+//
+// It is the remote counterpart of core.DB's Exec: the wsq shell's -server
+// mode and wsqbench's -serve mode both build on it.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// ErrOverloaded is returned by Query when the server rejected the request
+// at admission (HTTP 503): the execution slots and the wait queue were both
+// full. Callers may retry after a backoff.
+var ErrOverloaded = errors.New("wsqd: server overloaded")
+
+// ErrDeadline is returned by Query when the server aborted the query at
+// its deadline (HTTP 504).
+var ErrDeadline = errors.New("wsqd: query deadline exceeded")
+
+// NewClient builds a client for the wsqd server at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	tr := &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     60 * time.Second,
+	}
+	return &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    &http.Client{Transport: tr},
+	}
+}
+
+// Query executes one statement remotely. timeout bounds the server-side
+// execution (0 = the server default); ctx bounds the whole HTTP exchange.
+func (c *Client) Query(ctx context.Context, sql string, timeout time.Duration) (*QueryResponse, error) {
+	req := QueryRequest{SQL: sql}
+	if timeout > 0 {
+		req.TimeoutMS = int(timeout / time.Millisecond)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("wsqd: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("wsqd: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		_ = json.Unmarshal(raw, &er)
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			return nil, fmt.Errorf("%w: %s", ErrOverloaded, er.Error)
+		case http.StatusGatewayTimeout:
+			return nil, fmt.Errorf("%w: %s", ErrDeadline, er.Error)
+		default:
+			if er.Error != "" {
+				return nil, fmt.Errorf("wsqd: %s", er.Error)
+			}
+			return nil, fmt.Errorf("wsqd: HTTP %d", resp.StatusCode)
+		}
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("wsqd: parse response: %w", err)
+	}
+	return &out, nil
+}
+
+// Status fetches the server's /statusz snapshot.
+func (c *Client) Status(ctx context.Context) (*Statusz, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/statusz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("wsqd: %w", err)
+	}
+	defer resp.Body.Close()
+	var out Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("wsqd: parse statusz: %w", err)
+	}
+	return &out, nil
+}
+
+// Format renders a query response as an aligned text table, mirroring
+// core.Result.Format so the wsq shell looks identical in remote mode.
+func (r *QueryResponse) Format() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("ok (%d rows affected)\n", r.RowCount)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatValue(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for ci, s := range row {
+			if ci > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[ci], s)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(r.Rows))
+	return b.String()
+}
+
+// formatValue renders one JSON-decoded cell. Integers survive the float64
+// round-trip unscathed for the magnitudes the engine produces.
+func formatValue(v interface{}) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%.4g", x)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

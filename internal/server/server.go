@@ -1,0 +1,486 @@
+// Package server implements wsqd, the multi-client WSQ query daemon: an
+// HTTP/JSON front-end that owns one core.DB and executes many SELECTs
+// concurrently over the single shared ReqPump.
+//
+// The paper describes ReqPump as a *global* request manager — "one counter
+// to monitor the total number of active requests, and one counter for each
+// external destination" — which only becomes interesting when competing
+// queries from different users contend for those counters. This package
+// supplies that missing serving layer:
+//
+//   - POST /query (or GET /query?q=...) executes one statement with a
+//     per-query deadline; deadline expiry cancels the query's still-queued
+//     pump calls and releases its in-flight slots as they drain.
+//   - Admission control bounds the blast radius of a traffic spike: at most
+//     MaxConcurrentQueries execute at once, at most MaxQueueDepth wait, and
+//     everything beyond that is rejected immediately with 503.
+//   - GET /statusz exposes the pump counters, per-destination in-flight
+//     gauges, cache hit rate, admission state, and per-query latency
+//     percentiles.
+//
+// The companion Client (client.go) is the programmatic face used by the
+// wsq shell's remote mode and wsqbench's -serve load generator.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Options configures a Server. The zero value selects sane defaults.
+type Options struct {
+	// MaxConcurrentQueries bounds simultaneously executing statements
+	// (default 32). Queries beyond the bound wait in the admission queue.
+	MaxConcurrentQueries int
+	// MaxQueueDepth bounds queries waiting for an execution slot
+	// (default 2×MaxConcurrentQueries). Arrivals beyond it get 503.
+	MaxQueueDepth int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts (default 5m).
+	MaxTimeout time.Duration
+	// AllowWrites permits CREATE/DROP/INSERT through /query; by default the
+	// server is read-only and such statements get 403.
+	AllowWrites bool
+	// LatencyWindow is the number of recent query latencies kept for the
+	// /statusz percentiles (default 1024).
+	LatencyWindow int
+}
+
+func (o *Options) fill() {
+	if o.MaxConcurrentQueries <= 0 {
+		o.MaxConcurrentQueries = 32
+	}
+	if o.MaxQueueDepth <= 0 {
+		o.MaxQueueDepth = 2 * o.MaxConcurrentQueries
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 1024
+	}
+}
+
+// Server is the wsqd HTTP front-end over one shared database.
+type Server struct {
+	db   *core.DB
+	opts Options
+	mux  *http.ServeMux
+	sem  chan struct{}
+
+	mu       sync.Mutex
+	queued   int
+	active   int
+	total    int64
+	failed   int64
+	rejected int64
+	timedOut int64
+
+	lat   *latencyRing
+	start time.Time
+}
+
+// New builds a server over db. The db's engines and tables must already be
+// registered/loaded; the server never mutates them unless AllowWrites.
+func New(db *core.DB, opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		db:    db,
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, opts.MaxConcurrentQueries),
+		lat:   newLatencyRing(opts.LatencyWindow),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+var errOverloaded = errors.New("server overloaded")
+
+// admit blocks until an execution slot is free, the context expires, or
+// the wait queue is full. On success the caller must invoke the returned
+// release function exactly once.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	// Fast path: a slot is free right now.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// Slow path: join the bounded wait queue.
+		s.mu.Lock()
+		if s.queued >= s.opts.MaxQueueDepth {
+			s.rejected++
+			s.mu.Unlock()
+			return nil, errOverloaded
+		}
+		s.queued++
+		s.mu.Unlock()
+		select {
+		case s.sem <- struct{}{}:
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+	s.mu.Lock()
+	s.active++
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		<-s.sem
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// /query
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMS bounds the query's wall time (admission wait included);
+	// 0 selects the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the /query success body. Row values are JSON-native:
+// null, number, or string.
+type QueryResponse struct {
+	Columns       []string        `json:"columns"`
+	Rows          [][]interface{} `json:"rows"`
+	RowCount      int             `json:"row_count"`
+	ExternalCalls int64           `json:"external_calls"`
+	ElapsedMS     float64         `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the /query failure body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.mu.Lock()
+	s.total++
+	s.mu.Unlock()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				ErrorResponse{Error: fmt.Sprintf("overloaded: %d executing, %d queued", s.opts.MaxConcurrentQueries, s.opts.MaxQueueDepth)})
+			return
+		}
+		s.countTimeout()
+		writeJSON(w, http.StatusGatewayTimeout,
+			ErrorResponse{Error: "deadline expired while queued for admission"})
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	var res *core.Result
+	if s.opts.AllowWrites {
+		res, err = s.db.ExecContext(ctx, req.SQL)
+	} else {
+		res, err = s.db.QueryContext(ctx, req.SQL)
+	}
+	elapsed := time.Since(start)
+	s.lat.record(elapsed)
+
+	if err != nil {
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.countTimeout()
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, async.ErrPumpClosed):
+			status = http.StatusServiceUnavailable
+		case !s.opts.AllowWrites && isWriteRejection(err):
+			status = http.StatusForbidden
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Columns:       columnsOrEmpty(res.Columns),
+		Rows:          encodeRows(res.Rows),
+		RowCount:      len(res.Rows),
+		ExternalCalls: res.Stats.ExternalCalls,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000.0,
+	})
+}
+
+func (s *Server) countTimeout() {
+	s.mu.Lock()
+	s.timedOut++
+	s.mu.Unlock()
+}
+
+// isWriteRejection recognizes the read-only path's refusal of non-queries
+// (core.QueryContext phrases it as "expected a query, got ...").
+func isWriteRejection(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "expected a query")
+}
+
+func parseQueryRequest(r *http.Request) (QueryRequest, error) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("q")
+		if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+			if _, err := fmt.Sscanf(ms, "%d", &req.TimeoutMS); err != nil {
+				return req, fmt.Errorf("bad timeout_ms %q", ms)
+			}
+		}
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return req, fmt.Errorf("read request body: %w", err)
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, fmt.Errorf("parse request body: %w", err)
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed; use GET or POST", r.Method)
+	}
+	if req.SQL == "" {
+		return req, errors.New("missing sql (POST {\"sql\": ...} or GET ?q=...)")
+	}
+	return req, nil
+}
+
+// encodeRows converts engine tuples to JSON-native values.
+func encodeRows(rows []types.Tuple) [][]interface{} {
+	out := make([][]interface{}, len(rows))
+	for i, row := range rows {
+		r := make([]interface{}, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case types.KindNull:
+				r[j] = nil
+			case types.KindInt:
+				r[j] = v.I
+			case types.KindFloat:
+				r[j] = v.F
+			default:
+				r[j] = v.AsString()
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func columnsOrEmpty(cols []string) []string {
+	if cols == nil {
+		return []string{}
+	}
+	return cols
+}
+
+// ---------------------------------------------------------------------------
+// /statusz
+
+// Statusz is the observability snapshot served at /statusz.
+type Statusz struct {
+	UptimeSeconds float64        `json:"uptime_s"`
+	Queries       QueryStats     `json:"queries"`
+	Pump          PumpStats      `json:"pump"`
+	Cache         *CacheStats    `json:"cache,omitempty"`
+	Engines       []string       `json:"engines"`
+	DestActive    map[string]int `json:"dest_active"`
+}
+
+// QueryStats summarizes the admission layer and per-query latencies.
+type QueryStats struct {
+	Total     int64       `json:"total"`
+	Active    int         `json:"active"`
+	Queued    int         `json:"queued"`
+	Failed    int64       `json:"failed"`
+	Rejected  int64       `json:"rejected"`
+	TimedOut  int64       `json:"timed_out"`
+	LatencyMS Percentiles `json:"latency_ms"`
+}
+
+// PumpStats mirrors async.Stats plus the live gauges.
+type PumpStats struct {
+	Registered int64 `json:"registered"`
+	Started    int64 `json:"started"`
+	Completed  int64 `json:"completed"`
+	CacheHits  int64 `json:"cache_hits"`
+	Coalesced  int64 `json:"coalesced"`
+	Canceled   int64 `json:"canceled"`
+	MaxActive  int   `json:"max_active"`
+	Active     int   `json:"active"`
+	Queued     int   `json:"queued"`
+}
+
+// CacheStats summarizes the shared result cache.
+type CacheStats struct {
+	Entries int     `json:"entries"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	ps := s.db.Pump().Stats()
+	running, queuedCalls := s.db.Pump().Active()
+	st := Statusz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Pump: PumpStats{
+			Registered: ps.Registered,
+			Started:    ps.Started,
+			Completed:  ps.Completed,
+			CacheHits:  ps.CacheHits,
+			Coalesced:  ps.Coalesced,
+			Canceled:   ps.Canceled,
+			MaxActive:  ps.MaxActive,
+			Active:     running,
+			Queued:     queuedCalls,
+		},
+		Engines:    s.db.Engines().Names(),
+		DestActive: s.db.Pump().DestActive(),
+	}
+	s.mu.Lock()
+	st.Queries = QueryStats{
+		Total:    s.total,
+		Active:   s.active,
+		Queued:   s.queued,
+		Failed:   s.failed,
+		Rejected: s.rejected,
+		TimedOut: s.timedOut,
+	}
+	s.mu.Unlock()
+	st.Queries.LatencyMS = s.lat.percentiles()
+	if c := s.db.Cache(); c != nil {
+		hits, misses := c.Stats()
+		cs := &CacheStats{Entries: c.Len(), Hits: hits, Misses: misses}
+		if hits+misses > 0 {
+			cs.HitRate = float64(hits) / float64(hits+misses)
+		}
+		st.Cache = cs
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ---------------------------------------------------------------------------
+// Latency percentiles
+
+// Percentiles reports per-query latency quantiles over the recent window.
+type Percentiles struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// latencyRing keeps the last N query latencies for percentile reporting.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	fill  int
+	count int64
+	max   time.Duration
+}
+
+func newLatencyRing(n int) *latencyRing {
+	return &latencyRing{buf: make([]time.Duration, n)}
+}
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.fill < len(l.buf) {
+		l.fill++
+	}
+	l.count++
+	if d > l.max {
+		l.max = d
+	}
+}
+
+func (l *latencyRing) percentiles() Percentiles {
+	l.mu.Lock()
+	snap := make([]time.Duration, l.fill)
+	copy(snap, l.buf[:l.fill])
+	count, max := l.count, l.max
+	l.mu.Unlock()
+	p := Percentiles{Count: count, Max: ms(max)}
+	if len(snap) == 0 {
+		return p
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	q := func(f float64) float64 {
+		i := int(f * float64(len(snap)-1))
+		return ms(snap[i])
+	}
+	p.P50, p.P90, p.P99 = q(0.50), q(0.90), q(0.99)
+	return p
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }

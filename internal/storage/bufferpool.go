@@ -4,22 +4,29 @@ import (
 	"container/list"
 	"fmt"
 	"os"
+	"sync"
 )
 
 // BufferPool caches pages of one underlying file in memory with pin
 // counting and LRU replacement of unpinned frames. It is the "page-level
 // buffer" of the Redbase substrate.
 //
-// The pool is not safe for concurrent use; the engine's query execution is
-// single-threaded by design (the whole point of asynchronous iteration is
-// to get concurrency for external calls *without* a parallel executor).
+// Pool bookkeeping (frame map, LRU list, pin counts, stats) is guarded by
+// a mutex so that any number of concurrent scanners — one per query in a
+// multi-client server — can share the pool. Page *contents* are protected
+// by the pin protocol plus the engine's reader/writer discipline: a pinned
+// frame is never evicted, readers only read page bytes, and writers
+// (INSERT/CREATE/DROP) run exclusively at the DB layer.
 type BufferPool struct {
 	file      *os.File
 	maxFrames int
-	frames    map[uint32]*frame
-	lru       *list.List // of *frame; front = most recently used
-	numPages  uint32
-	// Stats for tests and EXPLAIN-level diagnostics.
+
+	mu       sync.Mutex
+	frames   map[uint32]*frame
+	lru      *list.List // of *frame; front = most recently used
+	numPages uint32
+	// Stats for tests and EXPLAIN-level diagnostics; read them only when
+	// no operations are concurrently in flight (or via StatsSnapshot).
 	Hits, Misses, Evictions uint64
 }
 
@@ -57,11 +64,24 @@ func NewBufferPool(f *os.File, maxFrames int) (*BufferPool, error) {
 }
 
 // NumPages returns the number of pages in the file.
-func (bp *BufferPool) NumPages() uint32 { return bp.numPages }
+func (bp *BufferPool) NumPages() uint32 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.numPages
+}
+
+// StatsSnapshot returns the hit/miss/eviction counters consistently.
+func (bp *BufferPool) StatsSnapshot() (hits, misses, evictions uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.Hits, bp.Misses, bp.Evictions
+}
 
 // Pin fetches the page into the pool (reading from disk on a miss) and
 // pins it. Every Pin must be paired with an Unpin.
 func (bp *BufferPool) Pin(pageNo uint32) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if pageNo >= bp.numPages {
 		return nil, fmt.Errorf("page %d out of range (file has %d pages)", pageNo, bp.numPages)
 	}
@@ -87,6 +107,8 @@ func (bp *BufferPool) Pin(pageNo uint32) (*Page, error) {
 // AppendPage extends the file by one zeroed page, pins it, and returns its
 // page number.
 func (bp *BufferPool) AppendPage() (uint32, *Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	if err := bp.makeRoom(); err != nil {
 		return 0, nil, err
 	}
@@ -104,6 +126,8 @@ func (bp *BufferPool) AppendPage() (uint32, *Page, error) {
 
 // Unpin releases one pin on the page, optionally marking it dirty.
 func (bp *BufferPool) Unpin(pageNo uint32, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	fr, ok := bp.frames[pageNo]
 	if !ok {
 		return fmt.Errorf("unpin of page %d that is not resident", pageNo)
@@ -119,7 +143,7 @@ func (bp *BufferPool) Unpin(pageNo uint32, dirty bool) error {
 }
 
 // makeRoom evicts the least recently used unpinned frame if the pool is at
-// capacity, writing it back if dirty.
+// capacity, writing it back if dirty. Callers hold bp.mu.
 func (bp *BufferPool) makeRoom() error {
 	if len(bp.frames) < bp.maxFrames {
 		return nil
@@ -144,6 +168,8 @@ func (bp *BufferPool) makeRoom() error {
 
 // FlushAll writes every dirty resident page back to disk.
 func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
 	for _, fr := range bp.frames {
 		if !fr.dirty {
 			continue

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"os"
+	"sync"
 )
 
 // RID identifies a record within a heap file by page and slot.
@@ -20,6 +21,9 @@ type HeapFile struct {
 	path string
 	f    *os.File
 	bp   *BufferPool
+	// wmu serializes record mutations (insert hint + page writes). Readers
+	// coordinate with writers at a higher layer (core.DB's RW lock).
+	wmu sync.Mutex
 	// hint: last page that accepted an insert, to avoid rescanning.
 	insertHint uint32
 }
@@ -59,6 +63,8 @@ func (h *HeapFile) Pool() *BufferPool { return h.bp }
 
 // Insert appends a record, returning its RID.
 func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
 	if len(rec) > MaxRecordSize {
 		return RID{}, fmt.Errorf("record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
 	}
