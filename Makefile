@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench table1 examples clean
+.PHONY: all build vet test check fuzz bench table1 examples clean
 
 all: build check
 
@@ -15,11 +15,20 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full gate: vet + the whole suite under the race detector. The concurrency
-# tests (shared-pump server, concurrent Exec) only bite with -race.
+# Full gate: vet + the whole suite under the race detector + a fuzz smoke.
+# The concurrency tests (shared-pump server, concurrent Exec) only bite with
+# -race; the fuzz targets guard the parser and evaluator crash-freedom
+# contracts (corpus seeds live in testdata/fuzz/).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
+	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 10s ./internal/expr
+
+# Longer fuzzing session for both targets.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 2m ./internal/sqlparse
+	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 2m ./internal/expr
 
 # testing.B versions of every table/figure + ablations (see bench_test.go).
 bench:

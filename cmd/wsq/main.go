@@ -130,8 +130,9 @@ func remoteShell(cl *server.Client, timeout time.Duration, query string) {
 			return err
 		}
 		fmt.Print(res.Format())
-		fmt.Printf("elapsed: %v (server %.1fms), external calls: %d\n",
-			time.Since(start).Round(time.Millisecond), res.ElapsedMS, res.ExternalCalls)
+		fmt.Printf("elapsed: %v (server %.1fms), external calls: %d%s\n",
+			time.Since(start).Round(time.Millisecond), res.ElapsedMS, res.ExternalCalls,
+			degradedNote(res.DegradedCalls))
 		return nil
 	}
 	if query != "" {
@@ -170,6 +171,9 @@ func remoteShell(cl *server.Client, timeout time.Duration, query string) {
 			fmt.Printf("pump: registered=%d started=%d completed=%d coalesced=%d canceled=%d max-concurrent=%d active=%d\n",
 				st.Pump.Registered, st.Pump.Started, st.Pump.Completed,
 				st.Pump.Coalesced, st.Pump.Canceled, st.Pump.MaxActive, st.Pump.Active)
+			fmt.Printf("faults: retries=%d hedges=%d hedge-wins=%d call-timeouts=%d calls-failed=%d\n",
+				st.Pump.Retries, st.Pump.Hedges, st.Pump.HedgeWins,
+				st.Pump.CallTimeouts, st.Pump.CallsFailed)
 		case strings.HasPrefix(line, "."):
 			fmt.Fprintf(os.Stderr, "remote mode supports .stats and .quit only\n")
 		default:
@@ -207,6 +211,8 @@ func command(db *core.DB, line string) bool {
 		st := db.Pump().Stats()
 		fmt.Printf("pump: registered=%d cache-hits=%d coalesced=%d started=%d completed=%d max-concurrent=%d\n",
 			st.Registered, st.CacheHits, st.Coalesced, st.Started, st.Completed, st.MaxActive)
+		fmt.Printf("faults: retries=%d hedges=%d hedge-wins=%d call-timeouts=%d calls-failed=%d\n",
+			st.Retries, st.Hedges, st.HedgeWins, st.CallTimeouts, st.CallsFailed)
 	case ".explain":
 		q := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
 		out, err := db.Explain(q)
@@ -228,9 +234,19 @@ func runStatement(db *core.DB, sql string) error {
 		return err
 	}
 	fmt.Print(res.Format())
-	fmt.Printf("elapsed: %v, external calls: %d\n",
-		time.Since(start).Round(time.Millisecond), res.Stats.ExternalCalls)
+	fmt.Printf("elapsed: %v, external calls: %d%s\n",
+		time.Since(start).Round(time.Millisecond), res.Stats.ExternalCalls,
+		degradedNote(res.Stats.DegradedCalls))
 	return nil
+}
+
+// degradedNote annotates timing lines when a degradation policy absorbed
+// failed calls (so silently NULL-patched or dropped rows are visible).
+func degradedNote(n int64) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", degraded calls: %d", n)
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@
 //	wsqbench -sweep-concurrency       # ablation: improvement vs pump limit
 //	wsqbench -sweep-cache             # ablation: result cache on/off
 //	wsqbench -http                    # engine calls over localhost HTTP
+//	wsqbench -flaky 0.3               # 30% transient faults, masked by retries
 //	wsqbench -serve -clients 8        # drive N concurrent clients at a wsqd
 package main
 
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/async"
 	"repro/internal/harness"
 	"repro/internal/search"
 	"repro/internal/server"
@@ -46,7 +48,9 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "-serve: load duration per phase")
 	serverURL := flag.String("server-url", "", "-serve: target an external wsqd (default: in-process)")
 	cacheSize := flag.Int("serve-cache", 4096, "-serve: result cache capacity for the in-process wsqd")
+	flaky := flag.Float64("flaky", 0, "inject transient faults with this probability (adds retry masking)")
 	flag.Parse()
+	faultProb = *flaky
 
 	model := search.BenchLatency()
 	if *paper {
@@ -167,15 +171,33 @@ func drive(cl *server.Client, n int, d time.Duration, queries []string) loadResu
 	return res
 }
 
+// faultProb is the -flaky probability; when set, every environment gets a
+// seeded transient-fault injector plus a retry policy that masks it.
+var faultProb float64
+
 func newEnv(model search.LatencyModel, useHTTP bool, maxTotal, maxDest, cacheSize int) *harness.Env {
 	dir, err := os.MkdirTemp("", "wsqbench-*")
 	if err != nil {
 		fatal(err)
 	}
-	env, err := harness.NewEnv(harness.Options{
+	opts := harness.Options{
 		Dir: dir, Latency: model, HTTP: useHTTP,
 		MaxConcurrentCalls: maxTotal, MaxCallsPerDest: maxDest, CacheSize: cacheSize,
-	})
+	}
+	if faultProb > 0 {
+		faults := search.TransientOnly(faultProb)
+		opts.Faults = &faults
+		// Deep attempt budget: at -flaky 0.3 a benchmark run issues
+		// thousands of calls, so the per-call residual failure rate must be
+		// tiny for the whole suite to be fault-transparent.
+		opts.Retry = async.RetryPolicy{
+			MaxAttempts: 12,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			JitterFrac:  0.5,
+		}
+	}
+	env, err := harness.NewEnv(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -204,6 +226,12 @@ func table1(model search.LatencyModel, template, runs, instances int, useHTTP bo
 	}
 	fmt.Println()
 	fmt.Print(harness.FormatTable1(results))
+	if faultProb > 0 {
+		st := env.DB.Pump().Stats()
+		av, g := env.FlakyAV.Stats(), env.FlakyGoogle.Stats()
+		fmt.Printf("\nfault injection: %.0f%% transient — injected %d faults, pump retries %d (failed calls: %d)\n",
+			100*faultProb, av.Injected()+g.Injected(), st.Retries, st.CallsFailed)
+	}
 	fmt.Println("\nPaper (Table 1): T1 6.0x/9.4x, T2 13.5x/12.5x, T3 19.6x/16.4x — factors grow")
 	fmt.Println("with template call count; absolute magnitude tracks the concurrency limit.")
 }

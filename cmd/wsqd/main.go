@@ -12,6 +12,8 @@
 //	     [-queue-depth 64] [-max-concurrent 64] [-max-per-dest 32]
 //	     [-timeout 30s] [-allow-writes] [-db DIR]
 //	     [-av-url URL -google-url URL]
+//	     [-retries 4] [-retry-backoff 5ms] [-call-timeout 2s] [-hedge-after 0]
+//	     [-degrade fail|drop|partial] [-flaky 0.3] [-seed 1]
 //
 // API:
 //
@@ -29,7 +31,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/async"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/search"
 	"repro/internal/server"
@@ -49,7 +53,19 @@ func main() {
 	allowWrites := flag.Bool("allow-writes", false, "permit CREATE/DROP/INSERT through /query")
 	avURL := flag.String("av-url", "", "URL of a websearchd altavista endpoint (default: in-process)")
 	gURL := flag.String("google-url", "", "URL of a websearchd google endpoint (default: in-process)")
+	retries := flag.Int("retries", 4, "max attempts per external call (1 = no retry)")
+	retryBackoff := flag.Duration("retry-backoff", 5*time.Millisecond, "base retry backoff (doubles per attempt)")
+	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-attempt deadline for external calls (0 = none)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "launch a duplicate request after this delay (0 = off)")
+	degradeFlag := flag.String("degrade", "fail", "default degradation policy when calls exhaust retries: fail|drop|partial")
+	flaky := flag.Float64("flaky", 0, "inject transient faults into in-process engines with this probability")
+	seed := flag.Int64("seed", 1, "seed for latency jitter and fault injection")
 	flag.Parse()
+
+	degrade, err := exec.ParseDegrade(*degradeFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *dir == "" {
 		tmp, err := os.MkdirTemp("", "wsqd-*")
@@ -66,6 +82,14 @@ func main() {
 		MaxConcurrentCalls: *maxTotal,
 		MaxCallsPerDest:    *maxDest,
 		CacheSize:          *cacheSize,
+		Retry: async.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *retryBackoff,
+			JitterFrac:  0.5,
+			CallTimeout: *callTimeout,
+			HedgeAfter:  *hedgeAfter,
+		},
+		Degrade: degrade,
 	})
 	if err != nil {
 		fatal(err)
@@ -81,8 +105,17 @@ func main() {
 	} else {
 		corpus := websim.Default()
 		model := search.LatencyModel{Base: *latency, Jitter: *latency / 2, CountFactor: 0.8}
-		db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), model, 1), "AV")
-		db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), model, 2), "G")
+		avRng := search.NewRand(1000 + *seed)
+		gRng := search.NewRand(2000 + *seed)
+		av := search.Engine(search.NewDelayedRand(websim.NewAltaVista(corpus), model, avRng))
+		g := search.Engine(search.NewDelayedRand(websim.NewGoogle(corpus), model, gRng))
+		if *flaky > 0 {
+			av = search.NewFlaky(av, search.TransientOnly(*flaky), avRng)
+			g = search.NewFlaky(g, search.TransientOnly(*flaky), gRng)
+			log.Printf("fault injection: %.0f%% transient faults per engine call", 100**flaky)
+		}
+		db.RegisterEngine(av, "AV")
+		db.RegisterEngine(g, "G")
 	}
 	if err := harness.LoadPaperTables(db); err != nil {
 		fatal(err)
@@ -93,6 +126,7 @@ func main() {
 		MaxQueueDepth:        *queueDepth,
 		DefaultTimeout:       *timeout,
 		AllowWrites:          *allowWrites,
+		DefaultDegrade:       degrade,
 	})
 	log.Printf("wsqd listening on http://%s (max-queries=%d queue-depth=%d cache=%d writes=%v)",
 		*addr, *maxQueries, *queueDepth, *cacheSize, *allowWrites)

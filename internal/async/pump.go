@@ -10,7 +10,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/types"
@@ -75,15 +77,28 @@ type Pump struct {
 	// before the first completes, so a cache alone never helps.
 	inflight map[string][]types.CallID
 
+	// policy governs retries, per-attempt deadlines, and hedging for every
+	// call execution (SetRetryPolicy). Stored normalized.
+	policy RetryPolicy
+	// backoffRng drives retry-backoff jitter; seeded so test runs are
+	// reproducible, guarded by rngMu because many workers back off at once.
+	rngMu      sync.Mutex
+	backoffRng *rand.Rand
+
 	// Stats
-	registered int64
-	started    int64
-	completed  int64
-	cacheHits  int64
-	coalesced  int64
-	canceled   int64
-	maxActive  int
-	closed     bool
+	registered   int64
+	started      int64
+	completed    int64
+	cacheHits    int64
+	coalesced    int64
+	canceled     int64
+	retries      int64
+	hedges       int64
+	hedgeWins    int64
+	callTimeouts int64
+	callsFailed  int64
+	maxActive    int
+	closed       bool
 }
 
 type pumpCall struct {
@@ -121,9 +136,26 @@ func NewPump(maxTotal, maxPerDest int, cache exec.ResultCache) *Pump {
 		cache:      cache,
 		inflight:   make(map[string][]types.CallID),
 		destLimit:  make(map[string]int),
+		backoffRng: rand.New(rand.NewSource(1)),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// SetRetryPolicy installs the fault-tolerance policy for subsequent call
+// executions (retry with backoff, per-attempt deadline, hedging). The zero
+// policy restores plain one-shot execution.
+func (p *Pump) SetRetryPolicy(pol RetryPolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.policy = pol.normalized()
+}
+
+// RetryPolicy returns the installed policy (normalized).
+func (p *Pump) RetryPolicy() RetryPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.policy
 }
 
 // Register enqueues an external call and returns its identifier
@@ -202,12 +234,8 @@ func (p *Pump) dispatchLocked() {
 			continue
 		}
 		p.queue = append(p.queue[:i], p.queue[i+1:]...)
-		p.activeTotal++
-		p.activeDest[c.dest]++
+		p.grabTokenLocked(c.dest)
 		p.started++
-		if p.activeTotal > p.maxActive {
-			p.maxActive = p.activeTotal
-		}
 		go p.run(c)
 	}
 }
@@ -233,14 +261,28 @@ func (p *Pump) settleUnstartedLocked(c *pumpCall, err error) {
 	p.cond.Broadcast()
 }
 
-// run executes one call and parks its result — for the registering CallID
-// and for every CallID coalesced onto it while it ran.
+// run executes one call — under the pump's retry policy — and parks its
+// outcome for the registering CallID and every CallID coalesced onto it.
+//
+// Concurrency accounting: the worker enters run holding one execution
+// token (acquired by dispatchLocked). Each physical execution of c.fn —
+// first attempt, retry, or hedge — holds exactly one token for exactly as
+// long as the engine call is actually outstanding; tokens are released by
+// the execution goroutine itself when fn returns, so abandoned (timed-out
+// or hedged-out) calls keep counting against the destination until the
+// engine really lets go of them.
 func (p *Pump) run(c *pumpCall) {
-	rows, err := c.fn()
+	rows, err := p.execute(c)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err == nil && p.cache != nil {
 		p.cache.Put(c.key, rows)
+	}
+	if err != nil && c.ctx.Err() == nil {
+		// Failures of calls whose query already ended (deadline, LIMIT
+		// reached, error elsewhere) are cancellations, not call failures:
+		// retrying was rightly suppressed, and nobody will read the result.
+		p.callsFailed++
 	}
 	ids := []types.CallID{c.id}
 	if coalesced, ok := p.inflight[c.key]; ok {
@@ -256,12 +298,211 @@ func (p *Pump) run(c *pumpCall) {
 		p.done[id] = true
 	}
 	p.completed++
+	p.cond.Broadcast()
+}
+
+// execute runs the retry loop for one call. It is entered holding one
+// execution token; every return path has released (or handed off to a
+// still-running execution goroutine) all tokens it acquired.
+func (p *Pump) execute(c *pumpCall) ([]types.Tuple, error) {
+	pol := p.RetryPolicy()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Back off — slot already released by the failed attempt — then
+			// re-acquire a token for the retry, competing under the same
+			// destination limits as everything else.
+			if d := p.jitteredBackoff(pol, attempt-1); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-c.ctx.Done():
+					t.Stop()
+					return nil, fmt.Errorf("%w (after %v)", c.ctx.Err(), lastErr)
+				}
+			}
+			if err := p.acquireToken(c); err != nil {
+				return nil, fmt.Errorf("%w (after %v)", err, lastErr)
+			}
+			p.count(&p.retries)
+		}
+		rows, err := p.attemptOnce(c, pol)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if !IsTransient(err) || attempt+1 >= pol.MaxAttempts || c.ctx.Err() != nil {
+			if attempt > 0 {
+				return nil, fmt.Errorf("after %d attempts: %w", attempt+1, err)
+			}
+			return nil, err
+		}
+	}
+}
+
+// attemptOnce performs one execution of the call, honoring the per-attempt
+// deadline and hedging. It is entered holding one execution token, which is
+// transferred to the execution goroutine (or consumed inline); by the time
+// the engine call finishes — even after attemptOnce has returned — its
+// token is released.
+func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) {
+	if pol.CallTimeout <= 0 && pol.HedgeAfter <= 0 {
+		// Fast path: execute inline, as the pre-policy pump did.
+		rows, err := c.fn()
+		p.releaseToken(c.dest)
+		return rows, err
+	}
+
+	type outcome struct {
+		rows   []types.Tuple
+		err    error
+		hedged bool
+	}
+	// Buffered for every execution this attempt can launch, so stragglers
+	// finishing after we have returned never block.
+	ch := make(chan outcome, 1+pol.MaxHedges)
+	launch := func(hedged bool) {
+		go func() {
+			rows, err := c.fn()
+			p.releaseToken(c.dest)
+			ch <- outcome{rows: rows, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+
+	var timeoutC <-chan time.Time
+	if pol.CallTimeout > 0 {
+		t := time.NewTimer(pol.CallTimeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	var hedgeC <-chan time.Time
+	var hedgeTimer *time.Timer
+	hedgesLeft := pol.MaxHedges
+	if pol.HedgeAfter > 0 && hedgesLeft > 0 {
+		hedgeTimer = time.NewTimer(pol.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	for {
+		select {
+		case o := <-ch:
+			if o.hedged {
+				p.count(&p.hedgeWins)
+			}
+			return o.rows, o.err
+		case <-hedgeC:
+			// Launch a duplicate only if a slot is free right now — hedges
+			// must never park, or they would starve other destinations'
+			// queued calls.
+			if p.tryAcquireToken(c.dest) {
+				p.count(&p.hedges)
+				launch(true)
+				hedgesLeft--
+			}
+			if hedgesLeft > 0 {
+				hedgeTimer.Reset(pol.HedgeAfter)
+			} else {
+				hedgeC = nil
+			}
+		case <-timeoutC:
+			p.count(&p.callTimeouts)
+			return nil, fmt.Errorf("%w after %v", ErrCallTimeout, pol.CallTimeout)
+		case <-c.ctx.Done():
+			return nil, c.ctx.Err()
+		}
+	}
+}
+
+// jitteredBackoff computes the delay before retry n (0-based), adding the
+// policy's seeded jitter.
+func (p *Pump) jitteredBackoff(pol RetryPolicy, n int) time.Duration {
+	d := pol.backoff(n)
+	if d <= 0 || pol.JitterFrac <= 0 {
+		return d
+	}
+	max := int64(float64(d) * pol.JitterFrac)
+	if max <= 0 {
+		return d
+	}
+	p.rngMu.Lock()
+	j := p.backoffRng.Int63n(max + 1)
+	p.rngMu.Unlock()
+	return d + time.Duration(j)
+}
+
+// count atomically bumps one of the pump's stat counters.
+func (p *Pump) count(field *int64) {
+	p.mu.Lock()
+	*field++
+	p.mu.Unlock()
+}
+
+// releaseToken returns one execution token, waking queued calls and
+// parked retries waiting for a slot.
+func (p *Pump) releaseToken(dest string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.activeTotal--
-	p.activeDest[c.dest]--
+	p.activeDest[dest]--
 	if !p.closed {
 		p.dispatchLocked()
 	}
 	p.cond.Broadcast()
+}
+
+// tryAcquireToken claims an execution token if one is free right now.
+func (p *Pump) tryAcquireToken(dest string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.activeTotal >= p.maxTotal || p.activeDest[dest] >= p.limitFor(dest) {
+		return false
+	}
+	p.grabTokenLocked(dest)
+	return true
+}
+
+// acquireToken blocks until an execution token is free (used by retries;
+// the limits are the same ones dispatchLocked enforces). It fails when the
+// call's context expires or the pump closes.
+func (p *Pump) acquireToken(c *pumpCall) error {
+	if c.ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-c.ctx.Done():
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		if p.closed {
+			return fmt.Errorf("retry: %w", ErrPumpClosed)
+		}
+		if p.activeTotal < p.maxTotal && p.activeDest[c.dest] < p.limitFor(c.dest) {
+			p.grabTokenLocked(c.dest)
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// grabTokenLocked increments the in-flight gauges. Callers hold p.mu.
+func (p *Pump) grabTokenLocked(dest string) {
+	p.activeTotal++
+	p.activeDest[dest]++
+	if p.activeTotal > p.maxActive {
+		p.maxActive = p.activeTotal
+	}
 }
 
 // limitFor returns the effective concurrency limit for a destination.
@@ -429,6 +670,17 @@ type Stats struct {
 	// Canceled counts calls dropped before starting (context expiry,
 	// discard, or pump shutdown).
 	Canceled int64
+	// Retries counts re-executions launched after a transient failure.
+	Retries int64
+	// Hedges counts duplicate requests launched for slow attempts, and
+	// HedgeWins those whose result arrived before the original's.
+	Hedges    int64
+	HedgeWins int64
+	// CallTimeouts counts attempts abandoned at the per-call deadline.
+	CallTimeouts int64
+	// CallsFailed counts calls whose final outcome (after retries) was an
+	// error.
+	CallsFailed int64
 	// MaxActive is the peak number of concurrently running calls.
 	MaxActive int
 }
@@ -438,13 +690,18 @@ func (p *Pump) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		Registered: p.registered,
-		CacheHits:  p.cacheHits,
-		Coalesced:  p.coalesced,
-		Started:    p.started,
-		Completed:  p.completed,
-		Canceled:   p.canceled,
-		MaxActive:  p.maxActive,
+		Registered:   p.registered,
+		CacheHits:    p.cacheHits,
+		Coalesced:    p.coalesced,
+		Started:      p.started,
+		Completed:    p.completed,
+		Canceled:     p.canceled,
+		Retries:      p.retries,
+		Hedges:       p.hedges,
+		HedgeWins:    p.hedgeWins,
+		CallTimeouts: p.callTimeouts,
+		CallsFailed:  p.callsFailed,
+		MaxActive:    p.maxActive,
 	}
 }
 
@@ -477,4 +734,5 @@ func (p *Pump) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.registered, p.cacheHits, p.coalesced, p.started, p.completed, p.canceled, p.maxActive = 0, 0, 0, 0, 0, 0, 0
+	p.retries, p.hedges, p.hedgeWins, p.callTimeouts, p.callsFailed = 0, 0, 0, 0, 0
 }

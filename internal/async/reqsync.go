@@ -122,12 +122,40 @@ func patch(t types.Tuple, id types.CallID, row types.Tuple) types.Tuple {
 // settle processes one completed call: Section 4.3's cancellation /
 // completion / generation algorithm, with Section 4.4's rule that copies
 // proliferate references to other pending calls.
-func (r *ReqSync) settle(id types.CallID, res CallResult) error {
+//
+// A failed call (the pump's retries exhausted, or a permanent engine error)
+// is handled per the query's degradation policy: fail the query, cancel the
+// waiting tuples as if the call returned no rows, or release them with the
+// call's attributes patched to NULL.
+func (r *ReqSync) settle(ctx *exec.Context, id types.CallID, res CallResult) error {
 	buffered := r.waiting[id]
 	delete(r.waiting, id)
 	r.npending--
 	if res.Err != nil {
-		return fmt.Errorf("external call failed: %w", res.Err)
+		switch ctx.Degrade {
+		case exec.DegradeDrop:
+			ctx.Stats.DegradedCalls++
+			for _, bt := range buffered {
+				bt.canceled = true
+			}
+			return nil
+		case exec.DegradePartial:
+			ctx.Stats.DegradedCalls++
+			for _, bt := range buffered {
+				if bt.canceled {
+					continue
+				}
+				// patch with an empty row: every referenced field is beyond
+				// the row's end, so each placeholder becomes NULL.
+				patch(bt.t, id, nil)
+				if !bt.t.HasPlaceholder() {
+					r.ready = append(r.ready, bt.t)
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("external call failed: %w", res.Err)
+		}
 	}
 	for _, bt := range buffered {
 		if bt.canceled {
@@ -213,7 +241,7 @@ func (r *ReqSync) Next(ctx *exec.Context) (types.Tuple, bool, error) {
 		if !ok {
 			return nil, false, fmt.Errorf("ReqSync: call %d signaled done but result missing", id)
 		}
-		if err := r.settle(id, res); err != nil {
+		if err := r.settle(ctx, id, res); err != nil {
 			return nil, false, err
 		}
 	}

@@ -1,0 +1,165 @@
+package async
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/types"
+)
+
+// ErrCallTimeout is the (wrapped) error of an external call attempt that
+// exceeded the retry policy's per-call deadline. It is classified as
+// transient: the attempt is abandoned and, attempts permitting, retried.
+var ErrCallTimeout = errors.New("external call timed out")
+
+// RetryPolicy controls how pump workers execute external calls in the face
+// of failure: bounded retries with exponential backoff and jitter, a
+// per-attempt deadline, and optional hedged duplicate requests for
+// latency-tail stragglers.
+//
+// The zero value disables everything — one attempt, no deadline, no hedging
+// — which is the pre-fault-tolerance pump behavior.
+//
+// Retries and hedges consume per-destination and total concurrency slots
+// like any other call: a backoff releases the call's slot (so waiting
+// retries never starve other queries or engines), a retry re-acquires one,
+// and a hedge launches only if a slot is free at that instant.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions allowed per call,
+	// including the first (values below 1 mean 1). Only transient errors —
+	// see IsTransient — are retried.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it (exponential backoff), capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = no cap).
+	MaxBackoff time.Duration
+	// JitterFrac adds a uniform random delay of up to JitterFrac×backoff,
+	// decorrelating retry storms from concurrent queries.
+	JitterFrac float64
+	// CallTimeout bounds each attempt's wall time (0 = unbounded). A timed
+	// out attempt is abandoned — the engine goroutine finishes into the
+	// void, holding its concurrency slot until it actually returns — and
+	// counts as a transient failure.
+	CallTimeout time.Duration
+	// HedgeAfter, when positive, launches a duplicate request if an attempt
+	// has not completed within this duration; the first result (original or
+	// hedge) wins. Duplicates are only launched when a concurrency slot is
+	// free, so hedging never starves other destinations.
+	HedgeAfter time.Duration
+	// MaxHedges bounds duplicates per attempt (default 1 when HedgeAfter is
+	// set).
+	MaxHedges int
+}
+
+// DefaultRetryPolicy is a sensible serving-path policy: four attempts with
+// 5 ms → 100 ms backoff and 50% jitter, no per-call deadline, no hedging.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		JitterFrac:  0.5,
+	}
+}
+
+// normalized fills the policy's implied defaults.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.HedgeAfter > 0 && p.MaxHedges < 1 {
+		p.MaxHedges = 1
+	}
+	if p.HedgeAfter <= 0 {
+		p.MaxHedges = 0
+	}
+	return p
+}
+
+// active reports whether the policy changes anything over plain one-shot
+// execution.
+func (p RetryPolicy) active() bool {
+	return p.MaxAttempts > 1 || p.CallTimeout > 0 || p.HedgeAfter > 0
+}
+
+// backoff computes the pre-jitter delay before retry number n (0-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// CallWithRetry runs do under the pump's retry policy without consuming
+// concurrency tokens: the synchronous executor path (EVScan) uses it so
+// synchronous and asynchronous iteration share one fault model. Hedging and
+// per-attempt deadlines are skipped — a synchronous scan blocks its query
+// for the call's full latency by design.
+func (p *Pump) CallWithRetry(ctx context.Context, do func() ([]types.Tuple, error)) ([]types.Tuple, error) {
+	pol := p.RetryPolicy()
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(p.jitteredBackoff(pol, attempt-1))
+			if ctx != nil {
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				}
+			} else {
+				<-t.C
+			}
+			p.count(&p.retries)
+		}
+		rows, err := do()
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if !IsTransient(err) {
+			p.count(&p.callsFailed)
+			return nil, err
+		}
+	}
+	p.count(&p.callsFailed)
+	return nil, fmt.Errorf("after %d attempts: %w", pol.MaxAttempts, lastErr)
+}
+
+// transienter is implemented by errors that know whether retrying may
+// help; search.FaultError is the canonical implementation. Declaring the
+// interface here keeps the async package free of a dependency on any
+// particular engine package.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err is worth retrying: per-attempt timeouts
+// and any error (anywhere in the chain) that declares itself Transient().
+// Context cancellation and deadline expiry are permanent — the query is
+// gone, retrying would waste the slot budget.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrCallTimeout) {
+		return true
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}

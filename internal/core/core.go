@@ -62,6 +62,13 @@ type Config struct {
 	// StreamingReqSync makes ReqSync release completed tuples before its
 	// child is exhausted (ablation of the paper's full-buffering choice).
 	StreamingReqSync bool
+	// Retry is the request pump's fault-tolerance policy (retries with
+	// backoff, per-attempt deadlines, hedging). The zero value executes
+	// every call exactly once.
+	Retry async.RetryPolicy
+	// Degrade is the default failed-call degradation policy for queries
+	// that do not choose one (fail / drop / partial).
+	Degrade exec.DegradePolicy
 }
 
 // DB is an open WSQ database. It is safe for concurrent use: any number of
@@ -116,6 +123,7 @@ func Open(cfg Config) (*DB, error) {
 		cache:   c,
 		pump:    async.NewPump(cfg.MaxConcurrentCalls, cfg.MaxCallsPerDest, rc),
 	}
+	db.pump.SetRetryPolicy(cfg.Retry)
 	db.async.Store(cfg.Async)
 	db.planner = plan.New(cat, vt)
 	db.planner.Cache = rc
@@ -155,6 +163,13 @@ func (db *DB) SetAsync(on bool) { db.async.Store(on) }
 // Async reports whether asynchronous iteration is enabled.
 func (db *DB) Async() bool { return db.async.Load() }
 
+// QueryOptions carries per-statement execution choices.
+type QueryOptions struct {
+	// Degrade overrides the DB's default failed-call degradation policy
+	// when non-nil.
+	Degrade *exec.DegradePolicy
+}
+
 // Exec parses and executes one SQL statement with no deadline.
 func (db *DB) Exec(sql string) (*Result, error) {
 	return db.ExecContext(context.Background(), sql)
@@ -164,6 +179,11 @@ func (db *DB) Exec(sql string) (*Result, error) {
 // expiry or cancellation aborts execution, dropping any external calls the
 // statement still has queued in the request pump.
 func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.ExecContextOpts(ctx, sql, QueryOptions{})
+}
+
+// ExecContextOpts is ExecContext with per-statement options.
+func (db *DB) ExecContextOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -185,9 +205,9 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 		defer db.mu.Unlock()
 		return db.execInsert(s)
 	case *sqlparse.Select:
-		return db.runQueryable(ctx, s)
+		return db.runQueryable(ctx, s, opts)
 	case *sqlparse.Union:
-		return db.runQueryable(ctx, s)
+		return db.runQueryable(ctx, s, opts)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", st)
 	}
@@ -200,13 +220,19 @@ func (db *DB) Query(sql string) (*Result, error) {
 
 // QueryContext executes a SELECT (or UNION of SELECTs) under ctx.
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return db.QueryContextOpts(ctx, sql, QueryOptions{})
+}
+
+// QueryContextOpts is QueryContext with per-statement options (e.g. the
+// degradation policy wsqd threads through from the client request).
+func (db *DB) QueryContextOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch st.(type) {
 	case *sqlparse.Select, *sqlparse.Union:
-		return db.runQueryable(ctx, st)
+		return db.runQueryable(ctx, st, opts)
 	default:
 		return nil, fmt.Errorf("expected a query, got %T", st)
 	}
@@ -283,7 +309,7 @@ func setStreaming(op exec.Operator) {
 	}
 }
 
-func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement) (*Result, error) {
+func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement, opts QueryOptions) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	op, err := db.planStatement(st)
@@ -291,6 +317,11 @@ func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement) (*Resul
 		return nil, err
 	}
 	ctx := exec.NewContextWith(goCtx)
+	ctx.Degrade = db.cfg.Degrade
+	if opts.Degrade != nil {
+		ctx.Degrade = *opts.Degrade
+	}
+	ctx.RetryCall = db.pump.CallWithRetry
 	rows, err := exec.Run(ctx, op)
 	if err != nil {
 		return nil, err

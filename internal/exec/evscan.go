@@ -108,11 +108,37 @@ func (s *EVScan) Open(ctx *Context) error {
 		}
 	}
 	ctx.Stats.ExternalCalls++
-	rows, err := s.Source.Call(args)
-	if err != nil {
-		return fmt.Errorf("%s: %w", s.Source.Name(), err)
+	var rows []types.Tuple
+	if ctx.RetryCall != nil {
+		rows, err = ctx.RetryCall(ctx.Ctx, func() ([]types.Tuple, error) {
+			return s.Source.Call(args)
+		})
+	} else {
+		rows, err = s.Source.Call(args)
 	}
-	if s.Cache != nil {
+	if err != nil {
+		switch ctx.Degrade {
+		case DegradeDrop:
+			// Treat the failed call as a zero-row result: downstream joins
+			// drop the driving tuple, exactly like ReqSync's drop policy.
+			ctx.Stats.DegradedCalls++
+			rows = nil
+		case DegradePartial:
+			// One all-NULL result row: the driving tuple survives with the
+			// call's attributes NULLed.
+			ctx.Stats.DegradedCalls++
+			width := s.Schema().Len() - s.Source.NumEcho()
+			null := make(types.Tuple, width)
+			for i := range null {
+				null[i] = types.Null()
+			}
+			rows = []types.Tuple{null}
+		default:
+			return fmt.Errorf("%s: %w", s.Source.Name(), err)
+		}
+	}
+	// Degraded results are never cached: the call may succeed next time.
+	if s.Cache != nil && err == nil {
 		s.Cache.Put(key, rows)
 	}
 	s.rows = echoRows(args, s.Source.NumEcho(), rows)

@@ -21,6 +21,50 @@ import (
 	"repro/internal/types"
 )
 
+// DegradePolicy selects what happens to tuples whose external call
+// ultimately failed (after the request pump exhausted its retries) during
+// asynchronous iteration. It is a per-query choice: a dashboard may prefer
+// partial rows over an error, a correctness test wants the error.
+type DegradePolicy uint8
+
+const (
+	// DegradeFail errors the whole query on a failed call (the default).
+	DegradeFail DegradePolicy = iota
+	// DegradeDrop cancels the tuples waiting on the failed call, exactly as
+	// if the call had returned zero rows.
+	DegradeDrop
+	// DegradePartial emits the waiting tuples with the call's attributes
+	// patched to NULL.
+	DegradePartial
+)
+
+// String renders the policy's flag spelling.
+func (d DegradePolicy) String() string {
+	switch d {
+	case DegradeDrop:
+		return "drop"
+	case DegradePartial:
+		return "partial"
+	default:
+		return "fail"
+	}
+}
+
+// ParseDegrade parses a policy name ("fail", "drop", "partial"; empty means
+// fail).
+func ParseDegrade(s string) (DegradePolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fail":
+		return DegradeFail, nil
+	case "drop":
+		return DegradeDrop, nil
+	case "partial":
+		return DegradePartial, nil
+	default:
+		return DegradeFail, fmt.Errorf("unknown degradation policy %q (want fail, drop, or partial)", s)
+	}
+}
+
 // Context carries per-execution state shared by all operators of one plan:
 // the correlated-binding environment used by dependent joins, the
 // cancellation scope, and counters for tests and EXPLAIN ANALYZE-style
@@ -28,9 +72,14 @@ import (
 type Context struct {
 	// Ctx bounds the execution: operators that block (external calls, pump
 	// waits) or loop (Run) honor its deadline and cancellation. Never nil.
-	Ctx   context.Context
-	Env   *expr.Env
-	Stats Stats
+	Ctx context.Context
+	Env *expr.Env
+	// Degrade selects the failed-call handling for this query's ReqSyncs.
+	Degrade DegradePolicy
+	// RetryCall, when set, wraps synchronous external calls (EVScan) in the
+	// engine-wide retry policy. Asynchronous calls retry inside the pump.
+	RetryCall func(ctx context.Context, do func() ([]types.Tuple, error)) ([]types.Tuple, error)
+	Stats     Stats
 }
 
 // NewContext returns a fresh execution context with no deadline.
@@ -50,6 +99,10 @@ func NewContextWith(ctx context.Context) *Context {
 type Stats struct {
 	ExternalCalls int64 // EVScan/AEVScan calls issued
 	TuplesOut     int64 // tuples produced at the root
+	// DegradedCalls counts external calls whose terminal failure was
+	// absorbed by a drop/partial degradation policy instead of erroring the
+	// query.
+	DegradedCalls int64
 }
 
 // Operator is the iterator interface every plan node implements.

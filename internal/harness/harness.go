@@ -12,8 +12,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/async"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/exec"
 	"repro/internal/search"
 	"repro/internal/types"
 	"repro/internal/websim"
@@ -37,6 +39,14 @@ type Options struct {
 	StreamingReqSync bool
 	// Seed offsets the latency jitter streams.
 	Seed int64
+	// Faults, when non-nil, wraps both engines in a seeded search.Flaky
+	// fault injector drawing from the same RNG as the latency jitter.
+	Faults *search.FaultModel
+	// Retry configures the pump's retry/timeout/hedging policy (zero value:
+	// one attempt, no deadline, no hedging).
+	Retry async.RetryPolicy
+	// Degrade is the default degradation policy for queries.
+	Degrade exec.DegradePolicy
 }
 
 // Env is a ready-to-query experiment environment.
@@ -44,6 +54,9 @@ type Env struct {
 	DB *core.DB
 	// AV and Google expose concurrency statistics of the two engines.
 	AV, Google *search.Delayed
+	// FlakyAV and FlakyGoogle are the fault injectors wrapping the engines;
+	// nil unless Options.Faults was set.
+	FlakyAV, FlakyGoogle *search.Flaky
 
 	servers []*http.Server
 }
@@ -55,8 +68,18 @@ type Env struct {
 func NewEnv(opts Options) (*Env, error) {
 	corpus := websim.Default()
 	env := &Env{}
-	env.AV = search.NewDelayed(websim.NewAltaVista(corpus), opts.Latency, 1000+opts.Seed)
-	env.Google = search.NewDelayed(websim.NewGoogle(corpus), opts.Latency, 2000+opts.Seed)
+	// One seeded RNG per engine, shared by the latency wrapper and the
+	// fault injector so a single seed fixes the whole stochastic schedule.
+	avRng := search.NewRand(1000 + opts.Seed)
+	gRng := search.NewRand(2000 + opts.Seed)
+	env.AV = search.NewDelayedRand(websim.NewAltaVista(corpus), opts.Latency, avRng)
+	env.Google = search.NewDelayedRand(websim.NewGoogle(corpus), opts.Latency, gRng)
+	avEngine, gEngine := search.Engine(env.AV), search.Engine(env.Google)
+	if opts.Faults != nil {
+		env.FlakyAV = search.NewFlaky(env.AV, *opts.Faults, avRng)
+		env.FlakyGoogle = search.NewFlaky(env.Google, *opts.Faults, gRng)
+		avEngine, gEngine = env.FlakyAV, env.FlakyGoogle
+	}
 
 	db, err := core.Open(core.Config{
 		Dir:                opts.Dir,
@@ -65,6 +88,8 @@ func NewEnv(opts Options) (*Env, error) {
 		MaxCallsPerDest:    opts.MaxCallsPerDest,
 		CacheSize:          opts.CacheSize,
 		StreamingReqSync:   opts.StreamingReqSync,
+		Retry:              opts.Retry,
+		Degrade:            opts.Degrade,
 	})
 	if err != nil {
 		return nil, err
@@ -72,12 +97,12 @@ func NewEnv(opts Options) (*Env, error) {
 	env.DB = db
 
 	if opts.HTTP {
-		avURL, avSrv, err := serveEngine(env.AV)
+		avURL, avSrv, err := serveEngine(avEngine)
 		if err != nil {
 			db.Close()
 			return nil, err
 		}
-		gURL, gSrv, err := serveEngine(env.Google)
+		gURL, gSrv, err := serveEngine(gEngine)
 		if err != nil {
 			avSrv.Close()
 			db.Close()
@@ -87,8 +112,8 @@ func NewEnv(opts Options) (*Env, error) {
 		db.RegisterEngine(search.NewClient("altavista", avURL), "AV")
 		db.RegisterEngine(search.NewClient("google", gURL), "G")
 	} else {
-		db.RegisterEngine(env.AV, "AV")
-		db.RegisterEngine(env.Google, "G")
+		db.RegisterEngine(avEngine, "AV")
+		db.RegisterEngine(gEngine, "G")
 	}
 
 	if err := LoadPaperTables(db); err != nil {
@@ -127,6 +152,12 @@ func (e *Env) ResetBetweenRuns() {
 	e.DB.Pump().ResetStats()
 	e.AV.ResetStats()
 	e.Google.ResetStats()
+	if e.FlakyAV != nil {
+		e.FlakyAV.ResetStats()
+	}
+	if e.FlakyGoogle != nil {
+		e.FlakyGoogle.ResetStats()
+	}
 }
 
 // LoadPaperTables creates and fills the paper's stored tables.

@@ -1,0 +1,207 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultKind classifies an injected fault.
+type FaultKind string
+
+// The injected fault kinds. Transient and RateLimit failures are retryable
+// (a later identical request may succeed); Hard failures are not. Stall and
+// SlowTail do not fail the call at all — they model a hung connection and a
+// latency tail, which only a per-call deadline or a hedged duplicate
+// request can mask.
+const (
+	FaultTransient FaultKind = "transient"
+	FaultRateLimit FaultKind = "ratelimit"
+	FaultHard      FaultKind = "hard"
+	FaultStall     FaultKind = "stall"
+	FaultSlowTail  FaultKind = "slowtail"
+)
+
+// FaultError is a failure injected by a Flaky engine wrapper.
+type FaultError struct {
+	Engine string
+	Op     string // "count", "search", "fetch"
+	Kind   FaultKind
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("%s %s: injected %s fault", e.Engine, e.Op, e.Kind)
+}
+
+// Transient reports whether retrying the call may succeed. The request
+// pump's retry loop consults this via the async package's transient-error
+// classification.
+func (e *FaultError) Transient() bool {
+	return e.Kind == FaultTransient || e.Kind == FaultRateLimit
+}
+
+// FaultProfile gives the per-request probability of each fault kind for
+// one operation. Probabilities are evaluated cumulatively in the order
+// Transient, RateLimit, Hard, Stall, SlowTail — at most one fault fires
+// per request — so their sum must not exceed 1.
+type FaultProfile struct {
+	Transient float64
+	RateLimit float64
+	Hard      float64
+	Stall     float64
+	SlowTail  float64
+}
+
+// FaultModel configures a Flaky wrapper: one profile per engine operation
+// (per-op probabilities, as Count is typically far cheaper and more
+// reliable than Search in real engines) plus the durations of the two
+// non-failing faults.
+type FaultModel struct {
+	Count  FaultProfile
+	Search FaultProfile
+	Fetch  FaultProfile
+	// StallFor is how long a stalled call hangs before proceeding.
+	StallFor time.Duration
+	// SlowBy is the extra latency of a slow-tail call.
+	SlowBy time.Duration
+}
+
+// UniformFaults applies the same profile to every operation.
+func UniformFaults(p FaultProfile) FaultModel {
+	return FaultModel{Count: p, Search: p, Fetch: p, StallFor: 100 * time.Millisecond, SlowBy: 50 * time.Millisecond}
+}
+
+// TransientOnly injects only retryable failures, each operation failing
+// with probability p. Retries with enough attempts mask this model
+// completely, which is what the golden fault-injection suite asserts.
+func TransientOnly(p float64) FaultModel {
+	return UniformFaults(FaultProfile{Transient: p})
+}
+
+// FlakyStats counts the faults a Flaky wrapper has injected.
+type FlakyStats struct {
+	Calls     int64
+	Transient int64
+	RateLimit int64
+	Hard      int64
+	Stalls    int64
+	SlowTails int64
+}
+
+// Injected returns the total number of injected events (including
+// non-failing stalls and slow tails).
+func (s FlakyStats) Injected() int64 {
+	return s.Transient + s.RateLimit + s.Hard + s.Stalls + s.SlowTails
+}
+
+// Flaky wraps an engine with deterministic, seeded fault injection. It is
+// safe for concurrent use; the fault schedule is drawn from a locked Rand,
+// typically the same one that drives the engine's Delayed latency wrapper,
+// so one seed fixes the whole simulated engine's behavior.
+//
+// The wrapper decides the fault before invoking the inner engine: a failed
+// call never reaches the engine (like a connection refused), while stalls
+// and slow tails delay the request and then let it through.
+type Flaky struct {
+	inner Engine
+	model FaultModel
+	rng   *Rand
+
+	mu    sync.Mutex
+	stats FlakyStats
+}
+
+// NewFlaky wraps inner with the given fault model, drawing the fault
+// schedule from rng (use NewRand(seed); sharing the Delayed wrapper's Rand
+// is encouraged).
+func NewFlaky(inner Engine, model FaultModel, rng *Rand) *Flaky {
+	if rng == nil {
+		rng = NewRand(1)
+	}
+	return &Flaky{inner: inner, model: model, rng: rng}
+}
+
+// Name implements Engine.
+func (f *Flaky) Name() string { return f.inner.Name() }
+
+// inject draws the fault decision for one request. It returns a non-nil
+// error for failing faults; for stalls and slow tails it sleeps and
+// returns nil.
+func (f *Flaky) inject(op string, p FaultProfile) error {
+	f.mu.Lock()
+	f.stats.Calls++
+	f.mu.Unlock()
+	draw := f.rng.Float64()
+	count := func(field *int64) {
+		f.mu.Lock()
+		*field++
+		f.mu.Unlock()
+	}
+	cum := p.Transient
+	if draw < cum {
+		count(&f.stats.Transient)
+		return &FaultError{Engine: f.inner.Name(), Op: op, Kind: FaultTransient}
+	}
+	cum += p.RateLimit
+	if draw < cum {
+		count(&f.stats.RateLimit)
+		return &FaultError{Engine: f.inner.Name(), Op: op, Kind: FaultRateLimit}
+	}
+	cum += p.Hard
+	if draw < cum {
+		count(&f.stats.Hard)
+		return &FaultError{Engine: f.inner.Name(), Op: op, Kind: FaultHard}
+	}
+	cum += p.Stall
+	if draw < cum {
+		count(&f.stats.Stalls)
+		time.Sleep(f.model.StallFor)
+		return nil
+	}
+	cum += p.SlowTail
+	if draw < cum {
+		count(&f.stats.SlowTails)
+		time.Sleep(f.model.SlowBy)
+		return nil
+	}
+	return nil
+}
+
+// Count implements Engine.
+func (f *Flaky) Count(query string) (int64, error) {
+	if err := f.inject("count", f.model.Count); err != nil {
+		return 0, err
+	}
+	return f.inner.Count(query)
+}
+
+// Search implements Engine.
+func (f *Flaky) Search(query string, k int) ([]Result, error) {
+	if err := f.inject("search", f.model.Search); err != nil {
+		return nil, err
+	}
+	return f.inner.Search(query, k)
+}
+
+// Fetch implements Engine.
+func (f *Flaky) Fetch(url string) (string, error) {
+	if err := f.inject("fetch", f.model.Fetch); err != nil {
+		return "", err
+	}
+	return f.inner.Fetch(url)
+}
+
+// Stats snapshots the injection counters.
+func (f *Flaky) Stats() FlakyStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ResetStats zeroes the injection counters between experiment runs.
+func (f *Flaky) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = FlakyStats{}
+}

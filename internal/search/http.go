@@ -2,6 +2,7 @@ package search
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,7 +49,7 @@ func NewHandler(e Engine) http.Handler {
 		}
 		n, err := e.Count(q)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, errStatus(err), err.Error())
 			return
 		}
 		writeJSON(w, countResponse{Count: n})
@@ -70,7 +71,7 @@ func NewHandler(e Engine) http.Handler {
 		}
 		res, err := e.Search(q, k)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, errStatus(err), err.Error())
 			return
 		}
 		writeJSON(w, searchResponse{Results: res})
@@ -87,7 +88,7 @@ func NewHandler(e Engine) http.Handler {
 			return
 		}
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, errStatus(err), err.Error())
 			return
 		}
 		writeJSON(w, fetchResponse{Body: body})
@@ -96,6 +97,22 @@ func NewHandler(e Engine) http.Handler {
 		writeJSON(w, map[string]string{"engine": e.Name()})
 	})
 	return mux
+}
+
+// errStatus maps an engine error to an HTTP status so the transient /
+// permanent distinction survives the wire: injected rate limits become 429,
+// other transient faults 503, everything else 500.
+func errStatus(err error) int {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		switch fe.Kind {
+		case FaultRateLimit:
+			return http.StatusTooManyRequests
+		case FaultTransient:
+			return http.StatusServiceUnavailable
+		}
+	}
+	return http.StatusInternalServerError
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -154,12 +171,30 @@ func (c *Client) get(path string, params url.Values, out interface{}) error {
 	}
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return fmt.Errorf("engine %s: %s", c.name, er.Error)
-		}
-		return fmt.Errorf("engine %s: HTTP %d", c.name, resp.StatusCode)
+		_ = json.Unmarshal(body, &er)
+		return &StatusError{Engine: c.name, Code: resp.StatusCode, Msg: er.Error}
 	}
 	return json.Unmarshal(body, out)
+}
+
+// StatusError is a non-OK HTTP response from a remote engine. 429 and 503
+// are classified transient (retryable), mirroring errStatus on the server.
+type StatusError struct {
+	Engine string
+	Code   int
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("engine %s: %s", e.Engine, e.Msg)
+	}
+	return fmt.Sprintf("engine %s: HTTP %d", e.Engine, e.Code)
+}
+
+// Transient reports whether the failure is worth retrying.
+func (e *StatusError) Transient() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
 }
 
 // Count implements Engine.

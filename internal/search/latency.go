@@ -1,7 +1,6 @@
 package search
 
 import (
-	"math/rand"
 	"sync"
 	"time"
 )
@@ -43,9 +42,7 @@ func ZeroLatency() LatencyModel { return LatencyModel{} }
 type Delayed struct {
 	inner Engine
 	model LatencyModel
-
-	mu  sync.Mutex
-	rng *rand.Rand
+	rng   *Rand
 
 	statsMu     sync.Mutex
 	inFlight    int
@@ -55,7 +52,17 @@ type Delayed struct {
 
 // NewDelayed wraps inner with the given latency model and jitter seed.
 func NewDelayed(inner Engine, model LatencyModel, seed int64) *Delayed {
-	return &Delayed{inner: inner, model: model, rng: rand.New(rand.NewSource(seed))}
+	return NewDelayedRand(inner, model, NewRand(seed))
+}
+
+// NewDelayedRand is NewDelayed drawing jitter from a caller-supplied locked
+// Rand, so a Flaky fault injector stacked on the same engine can share one
+// seeded stream (one seed fixes the whole simulated engine).
+func NewDelayedRand(inner Engine, model LatencyModel, rng *Rand) *Delayed {
+	if rng == nil {
+		rng = NewRand(1)
+	}
+	return &Delayed{inner: inner, model: model, rng: rng}
 }
 
 // Name implements Engine.
@@ -65,12 +72,7 @@ func (d *Delayed) delay(factor float64) {
 	if d.model.Base == 0 && d.model.Jitter == 0 {
 		return
 	}
-	d.mu.Lock()
-	j := time.Duration(0)
-	if d.model.Jitter > 0 {
-		j = time.Duration(d.rng.Int63n(int64(d.model.Jitter)))
-	}
-	d.mu.Unlock()
+	j := d.rng.Duration(d.model.Jitter)
 	total := time.Duration(float64(d.model.Base+j) * factor)
 	time.Sleep(total)
 }

@@ -1,0 +1,46 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Rand is a seeded pseudo-random source guarded by a mutex, shared by the
+// latency simulator (Delayed) and the fault injector (Flaky). The request
+// pump runs engine calls from many goroutines at once, so an unguarded
+// *rand.Rand would race; sharing one locked stream between the wrappers of
+// an engine also keeps a whole simulated engine reproducible from a single
+// seed.
+type Rand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRand returns a locked source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+// Int63n returns a uniform value in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
+}
+
+// Duration returns a uniform duration in [0, max); zero or negative max
+// yields zero.
+func (r *Rand) Duration(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(r.Int63n(int64(max)))
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/search"
+	"repro/internal/websim"
+)
+
+// The chaos suite: many concurrent clients against a wsqd whose engines
+// inject transient faults on almost a third of calls, with a retry budget
+// shallow enough that some calls exhaust it and hit the degradation path.
+
+// newChaosEnv builds a wsqd stack over Flaky-wrapped engines.
+func newChaosEnv(t *testing.T, faultProb float64, retry async.RetryPolicy) *testEnv {
+	t.Helper()
+	db, err := core.Open(core.Config{Dir: t.TempDir(), Async: true, Retry: retry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	corpus := websim.Default()
+	model := search.LatencyModel{Base: 2 * time.Millisecond, Jitter: time.Millisecond, CountFactor: 0.8}
+	avRng, gRng := search.NewRand(31), search.NewRand(32)
+	faults := search.TransientOnly(faultProb)
+	db.RegisterEngine(search.NewFlaky(search.NewDelayedRand(websim.NewAltaVista(corpus), model, avRng), faults, avRng), "AV")
+	db.RegisterEngine(search.NewFlaky(search.NewDelayedRand(websim.NewGoogle(corpus), model, gRng), faults, gRng), "G")
+	if err := harness.LoadPaperTables(db); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(New(db, Options{MaxConcurrentQueries: 16, MaxQueueDepth: 64}))
+	t.Cleanup(hs.Close)
+	return &testEnv{db: db, cl: NewClient(hs.URL), url: hs.URL}
+}
+
+// settleGoroutines waits for the goroutine count to drop back to within
+// slack of base, failing the test if it never does.
+func settleGoroutines(t *testing.T, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines never settled: %d now vs %d at baseline", n, base)
+}
+
+// TestChaosConcurrentClientsDegradeCleanly drives 8 concurrent clients with
+// drop/partial degradation against 30%% transient-fault engines and asserts
+// the serving contract: transient faults never surface as HTTP errors, no
+// goroutine leaks, gauges return to zero, and /statusz shows the retry and
+// degradation machinery actually fired.
+func TestChaosConcurrentClientsDegradeCleanly(t *testing.T) {
+	// Two attempts at 30% faults: ~9% of calls exhaust retries, so the
+	// degradation path is exercised heavily but queries still finish fast.
+	env := newChaosEnv(t, 0.3, async.RetryPolicy{
+		MaxAttempts: 2,
+		BaseBackoff: 200 * time.Microsecond,
+		JitterFrac:  0.5,
+	})
+	base := runtime.NumGoroutine()
+
+	const clients, perClient = 8, 6
+	policies := []exec.DegradePolicy{exec.DegradeDrop, exec.DegradePartial}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				pol := policies[(c+q)%len(policies)]
+				req := QueryRequest{
+					SQL:     fmt.Sprintf(`SELECT Name, Count FROM States, WebCount WHERE Name = T1 AND T2 = 'term%d'`, (c*perClient+q)%5),
+					Degrade: pol.String(),
+				}
+				res, err := env.cl.QueryOpts(context.Background(), req)
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d (%s): %w", c, q, pol, err)
+					continue
+				}
+				if pol == exec.DegradePartial && res.RowCount != 50 {
+					errs <- fmt.Errorf("client %d query %d: partial policy lost rows: %d of 50", c, q, res.RowCount)
+				}
+				if pol == exec.DegradeDrop && res.RowCount > 50 {
+					errs <- fmt.Errorf("client %d query %d: drop policy grew rows: %d", c, q, res.RowCount)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Idle keep-alive connections each hold serve/read goroutines; drop
+	// them so the leak check sees only what the query path left behind.
+	env.cl.http.CloseIdleConnections()
+	settleGoroutines(t, base, 10)
+
+	st, err := env.cl.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Active != 0 || st.Queries.Queued != 0 {
+		t.Errorf("gauges did not return to zero: active=%d queued=%d", st.Queries.Active, st.Queries.Queued)
+	}
+	if st.Queries.Active < 0 || st.Queries.Queued < 0 || st.Pump.Active < 0 {
+		t.Errorf("negative gauge: active=%d queued=%d pump-active=%d",
+			st.Queries.Active, st.Queries.Queued, st.Pump.Active)
+	}
+	if st.Queries.Failed != 0 {
+		t.Errorf("%d queries failed despite drop/partial degradation", st.Queries.Failed)
+	}
+	if st.Pump.Retries == 0 {
+		t.Error("/statusz shows zero retries under 30% fault injection")
+	}
+	if st.Pump.CallsFailed == 0 {
+		t.Error("retry budget of 2 at 30% faults should exhaust sometimes; CallsFailed is 0")
+	}
+	if st.Pump.Active != 0 {
+		t.Errorf("pump active = %d after all queries returned", st.Pump.Active)
+	}
+}
+
+// TestChaosFailPolicySurfaces500ButRecovers: with the default fail policy a
+// retry-exhausted transient fault errors the query (HTTP 500), but the
+// server keeps serving and its gauges stay consistent.
+func TestChaosFailPolicySurfaces500ButRecovers(t *testing.T) {
+	env := newChaosEnv(t, 0.6, async.RetryPolicy{MaxAttempts: 1})
+	sawError := false
+	for i := 0; i < 10 && !sawError; i++ {
+		_, err := env.cl.Query(context.Background(),
+			`SELECT Name, Count FROM States, WebCount WHERE Name = T1 AND T2 = 'chaos' LIMIT 3`, 0)
+		sawError = err != nil
+	}
+	if !sawError {
+		t.Fatal("60% faults with no retries never failed a fail-policy query")
+	}
+	st, err := env.cl.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Failed == 0 {
+		t.Error("failed-query counter did not record the failure")
+	}
+	if st.Queries.Active != 0 {
+		t.Errorf("active gauge stuck at %d", st.Queries.Active)
+	}
+}

@@ -53,6 +53,12 @@ func (c *Client) Query(ctx context.Context, sql string, timeout time.Duration) (
 	if timeout > 0 {
 		req.TimeoutMS = int(timeout / time.Millisecond)
 	}
+	return c.QueryOpts(ctx, req)
+}
+
+// QueryOpts executes a fully specified request remotely (per-query timeout
+// and degradation policy included).
+func (c *Client) QueryOpts(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err

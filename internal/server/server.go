@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/async"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/types"
 )
 
@@ -58,6 +59,9 @@ type Options struct {
 	// LatencyWindow is the number of recent query latencies kept for the
 	// /statusz percentiles (default 1024).
 	LatencyWindow int
+	// DefaultDegrade is the failed-call degradation policy applied when a
+	// request does not choose one (wsqd -degrade). DegradeFail by default.
+	DefaultDegrade exec.DegradePolicy
 }
 
 func (o *Options) fill() {
@@ -174,6 +178,9 @@ type QueryRequest struct {
 	// TimeoutMS bounds the query's wall time (admission wait included);
 	// 0 selects the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Degrade selects the failed-call policy for this query: "fail",
+	// "drop", or "partial" (empty = the server default).
+	Degrade string `json:"degrade,omitempty"`
 }
 
 // QueryResponse is the /query success body. Row values are JSON-native:
@@ -183,7 +190,10 @@ type QueryResponse struct {
 	Rows          [][]interface{} `json:"rows"`
 	RowCount      int             `json:"row_count"`
 	ExternalCalls int64           `json:"external_calls"`
-	ElapsedMS     float64         `json:"elapsed_ms"`
+	// DegradedCalls counts external calls whose failure was absorbed by the
+	// query's drop/partial degradation policy.
+	DegradedCalls int64   `json:"degraded_calls,omitempty"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
 }
 
 // ErrorResponse is the /query failure body.
@@ -196,6 +206,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
+	}
+
+	degrade := s.opts.DefaultDegrade
+	if req.Degrade != "" {
+		var derr error
+		degrade, derr = exec.ParseDegrade(req.Degrade)
+		if derr != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: derr.Error()})
+			return
+		}
 	}
 
 	timeout := s.opts.DefaultTimeout
@@ -229,10 +249,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var res *core.Result
+	opts := core.QueryOptions{Degrade: &degrade}
 	if s.opts.AllowWrites {
-		res, err = s.db.ExecContext(ctx, req.SQL)
+		res, err = s.db.ExecContextOpts(ctx, req.SQL, opts)
 	} else {
-		res, err = s.db.QueryContext(ctx, req.SQL)
+		res, err = s.db.QueryContextOpts(ctx, req.SQL, opts)
 	}
 	elapsed := time.Since(start)
 	s.lat.record(elapsed)
@@ -260,6 +281,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:          encodeRows(res.Rows),
 		RowCount:      len(res.Rows),
 		ExternalCalls: res.Stats.ExternalCalls,
+		DegradedCalls: res.Stats.DegradedCalls,
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1000.0,
 	})
 }
@@ -358,15 +380,20 @@ type QueryStats struct {
 
 // PumpStats mirrors async.Stats plus the live gauges.
 type PumpStats struct {
-	Registered int64 `json:"registered"`
-	Started    int64 `json:"started"`
-	Completed  int64 `json:"completed"`
-	CacheHits  int64 `json:"cache_hits"`
-	Coalesced  int64 `json:"coalesced"`
-	Canceled   int64 `json:"canceled"`
-	MaxActive  int   `json:"max_active"`
-	Active     int   `json:"active"`
-	Queued     int   `json:"queued"`
+	Registered   int64 `json:"registered"`
+	Started      int64 `json:"started"`
+	Completed    int64 `json:"completed"`
+	CacheHits    int64 `json:"cache_hits"`
+	Coalesced    int64 `json:"coalesced"`
+	Canceled     int64 `json:"canceled"`
+	Retries      int64 `json:"retries"`
+	Hedges       int64 `json:"hedges"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	CallTimeouts int64 `json:"call_timeouts"`
+	CallsFailed  int64 `json:"calls_failed"`
+	MaxActive    int   `json:"max_active"`
+	Active       int   `json:"active"`
+	Queued       int   `json:"queued"`
 }
 
 // CacheStats summarizes the shared result cache.
@@ -383,15 +410,20 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st := Statusz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Pump: PumpStats{
-			Registered: ps.Registered,
-			Started:    ps.Started,
-			Completed:  ps.Completed,
-			CacheHits:  ps.CacheHits,
-			Coalesced:  ps.Coalesced,
-			Canceled:   ps.Canceled,
-			MaxActive:  ps.MaxActive,
-			Active:     running,
-			Queued:     queuedCalls,
+			Registered:   ps.Registered,
+			Started:      ps.Started,
+			Completed:    ps.Completed,
+			CacheHits:    ps.CacheHits,
+			Coalesced:    ps.Coalesced,
+			Canceled:     ps.Canceled,
+			Retries:      ps.Retries,
+			Hedges:       ps.Hedges,
+			HedgeWins:    ps.HedgeWins,
+			CallTimeouts: ps.CallTimeouts,
+			CallsFailed:  ps.CallsFailed,
+			MaxActive:    ps.MaxActive,
+			Active:       running,
+			Queued:       queuedCalls,
 		},
 		Engines:    s.db.Engines().Names(),
 		DestActive: s.db.Pump().DestActive(),

@@ -1,0 +1,44 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's crash-freedom contract: arbitrary input
+// must produce a statement or an error, never a panic, unbounded recursion,
+// or a nil statement with a nil error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT 1",
+		"SELECT * FROM States",
+		"SELECT Name, Count FROM States, WebCount WHERE Name = T1 AND T2 = 'scuba diving'",
+		"SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC LIMIT 3",
+		"SELECT DISTINCT a.x AS y FROM t a GROUP BY y",
+		"SELECT Name FROM Sigs UNION SELECT Name FROM CSFields",
+		"CREATE TABLE T (A INT, B VARCHAR)",
+		"INSERT INTO T VALUES (1, 'x'), (2, 'y')",
+		"DROP TABLE T",
+		"SELECT (1 + 2) * -3 / 4 - 5 % 2",
+		"SELECT a FROM t WHERE NOT (a < 1 OR a >= 'x') AND b <> c",
+		"SELECT '" + strings.Repeat("quoted ", 40) + "'",
+		"SELECT",
+		"SELECT 'unterminated",
+		"SELECT ((((((((((1))))))))))",
+		";;;",
+		"\x00\xff SELECT \t\n 1e999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err == nil && st == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", src)
+		}
+		// The lexer alone must uphold the same contract.
+		if _, lerr := Tokenize(src); lerr == nil && err != nil {
+			// A statement can be lexable yet unparsable; nothing to check.
+			_ = lerr
+		}
+	})
+}
