@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test check fuzz bench table1 examples clean
+.PHONY: all build vet lint test check fuzz bench table1 examples clean
 
 all: build check
 
@@ -12,15 +12,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-invariant static analysis (cmd/wsqlint): slot balance, context
+# flow, seeded randomness, lock scope, goroutine ownership. Exits non-zero
+# on any diagnostic; see DESIGN.md "Static invariants".
+lint:
+	$(GO) run ./cmd/wsqlint ./...
+
 test:
 	$(GO) test ./...
 
-# Full gate: vet + the whole suite under the race detector + a fuzz smoke.
-# The concurrency tests (shared-pump server, concurrent Exec) only bite with
-# -race; the fuzz targets guard the parser and evaluator crash-freedom
-# contracts (corpus seeds live in testdata/fuzz/).
+# Full gate: vet + wsqlint + the whole suite under the race detector + a
+# fuzz smoke. The concurrency tests (shared-pump server, concurrent Exec)
+# only bite with -race; wsqlint enforces the invariants the race detector
+# can only sample; the fuzz targets guard the parser and evaluator
+# crash-freedom contracts (corpus seeds live in testdata/fuzz/).
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/wsqlint ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 10s ./internal/expr

@@ -10,11 +10,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/search"
 	"repro/internal/types"
 )
 
@@ -80,10 +80,10 @@ type Pump struct {
 	// policy governs retries, per-attempt deadlines, and hedging for every
 	// call execution (SetRetryPolicy). Stored normalized.
 	policy RetryPolicy
-	// backoffRng drives retry-backoff jitter; seeded so test runs are
-	// reproducible, guarded by rngMu because many workers back off at once.
-	rngMu      sync.Mutex
-	backoffRng *rand.Rand
+	// backoffRng drives retry-backoff jitter: a locked, seeded stream
+	// (many workers back off at once) shared with the latency/fault
+	// simulators' reproducibility contract.
+	backoffRng *search.Rand
 
 	// Stats
 	registered   int64
@@ -136,7 +136,7 @@ func NewPump(maxTotal, maxPerDest int, cache exec.ResultCache) *Pump {
 		cache:      cache,
 		inflight:   make(map[string][]types.CallID),
 		destLimit:  make(map[string]int),
-		backoffRng: rand.New(rand.NewSource(1)),
+		backoffRng: search.NewRand(1),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
@@ -161,6 +161,8 @@ func (p *Pump) RetryPolicy() RetryPolicy {
 // Register enqueues an external call and returns its identifier
 // immediately; the call runs as soon as the concurrency limits allow. The
 // caller later claims the outcome with Take (typically from a ReqSync).
+//
+//lint:ignore ctxflow deliberate paper-compat synchronous shim; cancellable callers use RegisterCtx
 func (p *Pump) Register(dest, key string, fn func() ([]types.Tuple, error)) types.CallID {
 	return p.RegisterCtx(context.Background(), dest, key, fn)
 }
@@ -362,6 +364,12 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 	// finishing after we have returned never block.
 	ch := make(chan outcome, 1+pol.MaxHedges)
 	launch := func(hedged bool) {
+		// This goroutine must NOT observe cancellation: the Engine call is
+		// not interruptible, and slot accounting requires the token to be
+		// held until the engine truly lets go — even after a timeout or a
+		// winning hedge has already answered the query. It is bounded by
+		// c.fn() returning and the buffered outcome channel.
+		//lint:ignore goroutinectx engine calls are uninterruptible; the slot token must be held until c.fn returns
 		go func() {
 			rows, err := c.fn()
 			p.releaseToken(c.dest)
@@ -425,10 +433,7 @@ func (p *Pump) jitteredBackoff(pol RetryPolicy, n int) time.Duration {
 	if max <= 0 {
 		return d
 	}
-	p.rngMu.Lock()
-	j := p.backoffRng.Int63n(max + 1)
-	p.rngMu.Unlock()
-	return d + time.Duration(j)
+	return d + time.Duration(p.backoffRng.Int63n(max+1))
 }
 
 // count atomically bumps one of the pump's stat counters.
@@ -543,6 +548,8 @@ func (p *Pump) Take(id types.CallID) (CallResult, bool) {
 // AwaitAny blocks until at least one of the given pending calls has
 // completed and returns its id. It is the producer/consumer handshake of
 // Section 4.1: each completing pump call signals waiting ReqSyncs.
+//
+//lint:ignore ctxflow deliberate paper-compat synchronous shim; cancellable callers use AwaitAnyCtx
 func (p *Pump) AwaitAny(ids map[types.CallID]bool) (types.CallID, error) {
 	return p.AwaitAnyCtx(context.Background(), ids)
 }

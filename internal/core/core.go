@@ -171,6 +171,8 @@ type QueryOptions struct {
 }
 
 // Exec parses and executes one SQL statement with no deadline.
+//
+//lint:ignore ctxflow deliberate synchronous convenience wrapper; bounded callers use ExecContext
 func (db *DB) Exec(sql string) (*Result, error) {
 	return db.ExecContext(context.Background(), sql)
 }
@@ -214,6 +216,8 @@ func (db *DB) ExecContextOpts(ctx context.Context, sql string, opts QueryOptions
 }
 
 // Query executes a SELECT (or UNION of SELECTs) with no deadline.
+//
+//lint:ignore ctxflow deliberate synchronous convenience wrapper; bounded callers use QueryContext
 func (db *DB) Query(sql string) (*Result, error) {
 	return db.QueryContext(context.Background(), sql)
 }

@@ -83,6 +83,8 @@ type Context struct {
 }
 
 // NewContext returns a fresh execution context with no deadline.
+//
+//lint:ignore ctxflow deliberate unbounded constructor for tests and the REPL; servers use NewContextWith
 func NewContext() *Context {
 	return NewContextWith(context.Background())
 }

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathMatch reports whether an import path falls inside scope, where
+// scope is a module-relative suffix like "internal/async". Matching by
+// suffix keeps rules independent of the module name, which also lets
+// fixture packages claim scoped paths.
+func pathMatch(importPath string, scopes ...string) bool {
+	for _, s := range scopes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprPath renders an ident/selector chain ("p.mu", "c.http") and
+// reports ok=false for anything else (calls, indexing, ...).
+func exprPath(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprPath(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	}
+	return "", false
+}
+
+// callee splits a call into the receiver chain and the final name:
+// p.mu.Lock() -> ("p.mu", "Lock"); close(ch) -> ("", "close").
+func callee(call *ast.CallExpr) (recv, name string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return "", fun.Name
+	case *ast.SelectorExpr:
+		base, _ := exprPath(fun.X)
+		return base, fun.Sel.Name
+	}
+	return "", ""
+}
+
+// lastSegment returns the final dotted segment of an expr path
+// ("s.statsMu" -> "statsMu").
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// inspectShallow walks n but does not descend into function literals:
+// a closure's body executes at some later call, not where it is
+// written, so its statements must not contribute effects (releases,
+// unlocks) to the enclosing statement.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, isLit := c.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// funcLits collects every function literal under n (including nested
+// ones), for independent analysis.
+func funcLits(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// recvNamed resolves the receiver of a method selector to its named
+// type, dereferencing pointers, using type info when available. It
+// returns nil when types are missing (the caller falls back to name
+// heuristics).
+func recvNamed(pkg *Package, sel *ast.SelectorExpr) *types.Named {
+	if pkg.Info == nil {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamedType reports whether named is exactly pkgSuffix.typeName, e.g.
+// ("sync", "Mutex") or ("internal/async", "Pump"). pkgSuffix matches by
+// path suffix so fixtures can participate.
+func isNamedType(named *types.Named, pkgSuffix, typeName string) bool {
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != typeName {
+		return false
+	}
+	return pathMatch(named.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// importName returns the local name under which a file imports path
+// ("context"), and ok=false when the file does not import it.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:], true
+		}
+		return p, true
+	}
+	return "", false
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// goroutineCtx checks that goroutines spawned in the async and server
+// layers cannot outlive their owners silently. A `go func` literal in
+// internal/async or internal/server must either
+//
+//   - select on (or receive from) a cancellation signal — ctx.Done(),
+//     a stop/done/quit/closed channel — so pump shutdown and query
+//     cancellation actually reach it, or
+//   - be registered with a sync.WaitGroup (defer wg.Done()), so a
+//     drain/settle path can wait for it.
+//
+// Unowned goroutines are how a long-lived wsqd leaks: the chaos suite's
+// goroutine-settle assertions catch some at runtime; this catches the
+// pattern at compile time.
+type goroutineCtx struct{}
+
+func newGoroutineCtx() *goroutineCtx { return &goroutineCtx{} }
+
+func (*goroutineCtx) Name() string { return "goroutinectx" }
+
+func (*goroutineCtx) Doc() string {
+	return "go func literals in internal/{async,server} must select on a cancellation signal or register with a WaitGroup"
+}
+
+// cancelChanRx matches channel identifiers that conventionally signal
+// shutdown.
+var cancelChanRx = regexp.MustCompile(`(?i)^(done|stop|stopped|quit|exit|closed?|cancel|shutdown)$`)
+
+// wgNameRx is the no-type-info fallback for WaitGroup receivers.
+var wgNameRx = regexp.MustCompile(`(?i)(^|\.)wg$|waitgroup$`)
+
+func (r *goroutineCtx) Check(pkg *Package) []Diagnostic {
+	if !pathMatch(pkg.Path, "internal/async", "internal/server") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // `go p.run(c)`: the named function owns its lifecycle
+			}
+			if r.hasCancellationPath(pkg, lit.Body) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pkg.Position(gs.Pos()),
+				Rule: r.Name(),
+				Message: "goroutine has no cancellation path: select on ctx.Done()/a close channel " +
+					"or register it with a WaitGroup (defer wg.Done()) so shutdown can reach it",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func (r *goroutineCtx) hasCancellationPath(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			// A receive from ctx.Done() / <-stop anywhere (select case,
+			// loop condition, bare statement) is a cancellation path.
+			if x.Op == token.ARROW && isCancelSource(x.X) {
+				found = true
+			}
+		case *ast.DeferStmt:
+			// defer wg.Done() — goroutine is awaited by a drain path.
+			if recv, name := callee(x.Call); name == "Done" && recv != "" {
+				if sel, ok := ast.Unparen(x.Call.Fun).(*ast.SelectorExpr); ok {
+					if named := recvNamed(pkg, sel); named != nil {
+						if isNamedType(named, "sync", "WaitGroup") {
+							found = true
+						}
+					} else if wgNameRx.MatchString(recv) {
+						found = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// `for v := range ch` over a cancel-ish channel also ends with
+			// close(ch).
+			if isCancelSource(x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCancelSource recognizes expressions that deliver a shutdown signal:
+// a call to something named Done()/Closed() (ctx.Done(), pump.Closed()),
+// or a channel identifier with a conventional shutdown name.
+func isCancelSource(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		_, name := callee(x)
+		return name == "Done" || name == "Closed" || name == "Closing"
+	case *ast.Ident:
+		return cancelChanRx.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return cancelChanRx.MatchString(x.Sel.Name)
+	}
+	return false
+}

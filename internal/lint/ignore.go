@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments take the staticcheck-style form
+//
+//	//lint:ignore <rule> <reason>
+//
+// and cover (a) the comment's own line and the line after it, or (b) when
+// the comment sits in the doc comment of a declaration, every line of
+// that declaration. The reason is mandatory.
+const ignorePrefix = "//lint:ignore"
+
+type span struct {
+	file       string
+	start, end int // inclusive line range
+}
+
+type suppressions struct {
+	byRule    map[string][]span
+	malformed []Diagnostic
+}
+
+func (s *suppressions) covers(rule string, pos token.Position) bool {
+	for _, sp := range s.byRule[rule] {
+		if sp.file == pos.Filename && pos.Line >= sp.start && pos.Line <= sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans a package's comments for ignore directives.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byRule: make(map[string][]span)}
+	for _, f := range pkg.Files {
+		// Doc-comment suppressions extend over the whole declaration.
+		docSpan := make(map[*ast.CommentGroup]span)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				p1, p2 := pkg.Position(decl.Pos()), pkg.Position(decl.End())
+				docSpan[doc] = span{file: p1.Filename, start: p1.Line, end: p2.Line}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "ignore",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				rule := fields[0]
+				sp := span{file: pos.Filename, start: pos.Line, end: pos.Line + 1}
+				if ds, ok := docSpan[cg]; ok {
+					sp = ds
+					// The doc comment itself precedes the declaration.
+					if pos.Line < sp.start {
+						sp.start = pos.Line
+					}
+				}
+				s.byRule[rule] = append(s.byRule[rule], sp)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+// Package lint implements wsqlint, a zero-dependency static analyzer
+// suite for this repository's project invariants. The paper's
+// asynchronous-iteration machinery (ReqPump slot accounting, AEVScan
+// placeholders, ReqSync patching) stays correct only under disciplines —
+// every pump slot released on every path, every network call bounded by a
+// context, all simulated randomness flowing through one seeded stream —
+// that `go vet` knows nothing about and the race detector can only
+// sample. Each rule here encodes one such invariant as a compile-time
+// check; `make lint` (folded into `make check`) gates the tree on all of
+// them.
+//
+// The suite is built entirely on the standard library: go/ast, go/parser
+// and go/types for analysis, and one `go list -json` invocation for
+// package discovery. Diagnostics carry file:line:col positions, can be
+// emitted as stable JSON for CI annotation, and are suppressible per
+// rule with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the line before (or at the end of) the flagged line, or in the doc
+// comment of a declaration to suppress the rule for that whole
+// declaration. The reason is mandatory: an unexplained suppression is
+// itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one reported rule violation.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, parsed and (best-effort) type-checked package
+// presented to rules.
+type Package struct {
+	// Path is the import path ("repro/internal/async").
+	Path string
+	// Name is the package name ("async", "main").
+	Name string
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Info carries the type-checker's findings. Checking is permissive:
+	// entries may be missing when a dependency failed to load, so rules
+	// must degrade to syntactic matching when a lookup misses.
+	Info *types.Info
+	// Types is the checked package object (possibly incomplete).
+	Types *types.Package
+	// TypeErrors records type-checking problems, for -debug output; they
+	// do not fail the run.
+	TypeErrors []error
+}
+
+// Position resolves a token.Pos against the package's file set.
+func (p *Package) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// Rule is one invariant checker.
+type Rule interface {
+	// Name is the identifier used in output and //lint:ignore comments.
+	Name() string
+	// Doc is a one-line description of the encoded invariant.
+	Doc() string
+	// Check reports the rule's diagnostics for one package. Suppression
+	// is applied by Run, not by the rule.
+	Check(pkg *Package) []Diagnostic
+}
+
+// AllRules returns the full suite in stable order.
+func AllRules() []Rule {
+	return []Rule{
+		newSlotBalance(),
+		newCtxFlow(),
+		newSeededRand(),
+		newLockScope(),
+		newGoroutineCtx(),
+	}
+}
+
+// RuleNames returns the names of rules, in order.
+func RuleNames(rules []Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// Run checks every package with every rule, applies //lint:ignore
+// suppressions, folds in malformed-suppression diagnostics, and returns
+// the surviving findings sorted by position then rule.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		out = append(out, sup.malformed...)
+		for _, r := range rules {
+			for _, d := range r.Check(pkg) {
+				if !sup.covers(r.Name(), d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+// Fixture package for the ctxflow rule: loaded as
+// "repro/internal/async" so the Pump type resolution and the scope for
+// exported-function checks both apply.
+package async
+
+import "context"
+
+// Pump mimics async.Pump for receiver-type resolution.
+type Pump struct{}
+
+func (p *Pump) RegisterCtx(ctx context.Context, dest string) int { return 0 }
+func (p *Pump) AwaitAnyCtx(ctx context.Context) (int, error)     { return 0, nil }
+
+// NotAPump has a pump-op method name on a non-Pump receiver; type info
+// must keep it from matching.
+type NotAPump struct{}
+
+func (n *NotAPump) RegisterCtx(name string) {}
+
+// --- positives --------------------------------------------------------
+
+func LeakyRegister(p *Pump) int { // want "takes no context.Context"
+	return p.RegisterCtx(context.TODO(), "google") // want "detaches this call"
+}
+
+func LeakyAwait(p *Pump) { // want "takes no context.Context"
+	_, _ = p.AwaitAnyCtx(nil)
+}
+
+// helper performs a pump call with no context of its own, so exported
+// wrappers around it inherit the violation.
+func helper(p *Pump) {
+	_, _ = p.AwaitAnyCtx(nil)
+}
+
+func WrapsHelper(p *Pump) { // want "takes no context.Context"
+	helper(p)
+}
+
+func StrayBackground() context.Context {
+	return context.Background() // want "detaches this call"
+}
+
+// --- negatives --------------------------------------------------------
+
+func BoundedRegister(ctx context.Context, p *Pump) int {
+	return p.RegisterCtx(ctx, "google")
+}
+
+func NilDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // the idiomatic nil-context default
+	}
+	return ctx
+}
+
+func NotPumpCall(n *NotAPump) {
+	n.RegisterCtx("altavista") // receiver is not async.Pump
+}
+
+func unexportedLeak(p *Pump) {
+	_, _ = p.AwaitAnyCtx(nil) // only exported functions are checked here
+}
+
+func ClosureEscapes(p *Pump) func() {
+	return func() {
+		// Closures run under their eventual caller's scope; not checked
+		// against the enclosing signature.
+		_, _ = p.AwaitAnyCtx(nil)
+	}
+}
+
+// --- suppressed -------------------------------------------------------
+
+// SyncShim is the paper-compat synchronous API.
+//
+//lint:ignore ctxflow fixture: deliberate synchronous shim, like Pump.Register
+func SyncShim(p *Pump) {
+	_, _ = p.AwaitAnyCtx(context.Background())
+}

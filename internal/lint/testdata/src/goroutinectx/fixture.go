@@ -1,0 +1,87 @@
+// Fixture for the goroutinectx rule, loaded as "repro/internal/async":
+// go func literals must select on a cancellation signal or register
+// with a WaitGroup.
+package async
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	jobs chan int
+}
+
+// --- positives --------------------------------------------------------
+
+func (w *worker) SpawnUnowned() {
+	go func() { // want "no cancellation path"
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+func SpawnDetached(out chan<- int) {
+	go func() { // want "no cancellation path"
+		out <- 1
+	}()
+}
+
+// --- negatives --------------------------------------------------------
+
+func (w *worker) SpawnCtx(ctx context.Context) {
+	go func() {
+		select {
+		case j := <-w.jobs:
+			_ = j
+		case <-ctx.Done():
+			return
+		}
+	}()
+}
+
+func (w *worker) SpawnStopChan() {
+	go func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				_ = j
+			case <-w.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (w *worker) SpawnWaitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}
+
+func (w *worker) SpawnNamed() {
+	go w.drain() // named functions own their lifecycle; literals only
+}
+
+func (w *worker) drain() {
+	for range w.jobs {
+	}
+}
+
+// --- suppressed -------------------------------------------------------
+
+func (w *worker) SpawnSuppressed() {
+	//lint:ignore goroutinectx fixture: drains a buffered channel that the owner closes
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}

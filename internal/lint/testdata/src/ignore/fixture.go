@@ -1,0 +1,10 @@
+// Fixture for malformed //lint:ignore directives: a directive without
+// both a rule name and a reason is itself reported (rule "ignore").
+package ignorefix
+
+import (
+	//lint:ignore seededrand
+	"math/rand"
+)
+
+func roll() int { return rand.Intn(6) }

@@ -1,0 +1,39 @@
+// Fixture for lockscope's blocking-pump-call check, loaded as
+// "repro/internal/async" so the Pump receiver type resolves.
+package async
+
+import (
+	"context"
+	"sync"
+)
+
+type Pump struct {
+	mu sync.Mutex
+}
+
+func (p *Pump) RegisterCtx(ctx context.Context, dest string) int { return 0 }
+
+// NotAPump shares a blocking method name; type info must exclude it.
+type NotAPump struct {
+	mu sync.Mutex
+}
+
+func (n *NotAPump) AwaitAny() {}
+
+func (p *Pump) BadStats(ctx context.Context) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.RegisterCtx(ctx, "google") // want "blocking pump call"
+}
+
+func (p *Pump) GoodStats(ctx context.Context) int {
+	p.mu.Lock()
+	p.mu.Unlock()
+	return p.RegisterCtx(ctx, "google")
+}
+
+func (n *NotAPump) LocalAwait() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.AwaitAny() // not an async.Pump method; no diagnostic
+}

@@ -1,0 +1,13 @@
+// Fixture for the seededrand rule, loaded as "repro/internal/websim":
+// any math/rand import outside internal/search/rand.go is flagged.
+package websim
+
+import (
+	"math/rand" // want "direct math/rand import"
+	"sort"
+)
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sort.Ints(xs)
+}

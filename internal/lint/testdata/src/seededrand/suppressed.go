@@ -1,0 +1,12 @@
+package websim
+
+import (
+	//lint:ignore seededrand fixture: single-threaded seeded generator needing rand.Zipf
+	mrand "math/rand"
+)
+
+func zipfish(seed int64) uint64 {
+	rng := mrand.New(mrand.NewSource(seed))
+	z := mrand.NewZipf(rng, 1.3, 1.0, 99)
+	return z.Uint64()
+}

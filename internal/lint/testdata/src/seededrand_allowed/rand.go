@@ -1,0 +1,19 @@
+// Fixture negative for seededrand: this file is loaded as
+// "repro/internal/search"/rand.go, the one blessed math/rand importer.
+package search
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Rand mirrors the real locked stream.
+type Rand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRand returns a locked source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{rng: rand.New(rand.NewSource(seed))}
+}

@@ -197,7 +197,11 @@ func (e *StatusError) Transient() bool {
 	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
 }
 
-// Count implements Engine.
+// Count implements Engine. The Engine protocol is synchronous by design:
+// cancellation, per-attempt deadlines and hedging are owned by the pump
+// layer, and the underlying http.Client caps every request at 60s.
+//
+//lint:ignore ctxflow Engine interface is synchronous; the pump layer owns cancellation
 func (c *Client) Count(query string) (int64, error) {
 	var out countResponse
 	params := url.Values{"q": {query}}
@@ -208,6 +212,8 @@ func (c *Client) Count(query string) (int64, error) {
 }
 
 // Search implements Engine.
+//
+//lint:ignore ctxflow Engine interface is synchronous; the pump layer owns cancellation
 func (c *Client) Search(query string, k int) ([]Result, error) {
 	var out searchResponse
 	params := url.Values{"q": {query}, "k": {strconv.Itoa(k)}}
@@ -218,6 +224,8 @@ func (c *Client) Search(query string, k int) ([]Result, error) {
 }
 
 // Fetch implements Engine.
+//
+//lint:ignore ctxflow Engine interface is synchronous; the pump layer owns cancellation
 func (c *Client) Fetch(pageURL string) (string, error) {
 	var out fetchResponse
 	params := url.Values{"url": {pageURL}}

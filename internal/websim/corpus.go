@@ -3,6 +3,7 @@ package websim
 import (
 	"fmt"
 	"hash/fnv"
+	//lint:ignore seededrand corpus generation is single-threaded, seeded from Config.Seed, and needs rand.Zipf, which the locked search.Rand wrapper does not expose
 	"math/rand"
 	"sort"
 	"strings"
