@@ -14,6 +14,10 @@
 // Shell commands:
 //
 //	.explain <query>   show the plan (and its async rewrite)
+//	EXPLAIN ANALYZE <query>
+//	                   execute the query and print the per-operator span
+//	                   tree (times, rows, patch/expand counts); plain SQL,
+//	                   so it also works in remote mode
 //	.async on|off      toggle asynchronous iteration
 //	.tables            list stored tables
 //	.stats             pump and engine statistics
@@ -129,6 +133,14 @@ func remoteShell(cl *server.Client, timeout time.Duration, query string) {
 		if err != nil {
 			return err
 		}
+		if isAnalyzeResult(res.Columns) {
+			for _, row := range res.Rows {
+				if len(row) == 1 {
+					fmt.Println(row[0])
+				}
+			}
+			return nil
+		}
 		fmt.Print(res.Format())
 		fmt.Printf("elapsed: %v (server %.1fms), external calls: %d%s\n",
 			time.Since(start).Round(time.Millisecond), res.ElapsedMS, res.ExternalCalls,
@@ -198,6 +210,7 @@ func command(db *core.DB, line string) bool {
 		return true
 	case ".help":
 		fmt.Println(".explain <query> | .async on|off | .tables | .stats | .quit")
+		fmt.Println("EXPLAIN ANALYZE <query> runs the query and prints its span tree")
 	case ".tables":
 		for _, n := range db.Catalog().TableNames() {
 			fmt.Println(n)
@@ -233,11 +246,24 @@ func runStatement(db *core.DB, sql string) error {
 	if err != nil {
 		return err
 	}
+	if isAnalyzeResult(res.Columns) {
+		// EXPLAIN ANALYZE rows are preformatted tree lines; a boxed table
+		// would only mangle the indentation.
+		for _, row := range res.Rows {
+			fmt.Println(row[0].S)
+		}
+		return nil
+	}
 	fmt.Print(res.Format())
 	fmt.Printf("elapsed: %v, external calls: %d%s\n",
 		time.Since(start).Round(time.Millisecond), res.Stats.ExternalCalls,
 		degradedNote(res.Stats.DegradedCalls))
 	return nil
+}
+
+// isAnalyzeResult detects the EXPLAIN ANALYZE textual result shape.
+func isAnalyzeResult(columns []string) bool {
+	return len(columns) == 1 && columns[0] == "EXPLAIN ANALYZE"
 }
 
 // degradedNote annotates timing lines when a degradation policy absorbed

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/async"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/server"
 )
@@ -49,8 +51,10 @@ func main() {
 	serverURL := flag.String("server-url", "", "-serve: target an external wsqd (default: in-process)")
 	cacheSize := flag.Int("serve-cache", 4096, "-serve: result cache capacity for the in-process wsqd")
 	flaky := flag.Float64("flaky", 0, "inject transient faults with this probability (adds retry masking)")
+	jsonOut := flag.String("json-out", "", "write a machine-readable JSON report (BENCH_*.json) to this path")
 	flag.Parse()
 	faultProb = *flaky
+	jsonPath = *jsonOut
 
 	model := search.BenchLatency()
 	if *paper {
@@ -117,6 +121,25 @@ func serveBench(model search.LatencyModel, clients int, duration time.Duration, 
 		fmt.Printf("cross-query sharing: %d of %d registrations (%.0f%%) never hit the network\n",
 			saved, st.Pump.Registered, 100*float64(saved)/float64(st.Pump.Registered))
 	}
+	writeReport(benchReport{
+		Mode:          "serve",
+		LatencyBaseMS: float64(model.Base.Microseconds()) / 1000.0,
+		Pump: &benchPump{
+			Registered: st.Pump.Registered, Started: st.Pump.Started,
+			CacheHits: st.Pump.CacheHits, Coalesced: st.Pump.Coalesced,
+			Retries: st.Pump.Retries, CallsFailed: st.Pump.CallsFailed,
+			MaxActive: st.Pump.MaxActive,
+		},
+		Serve: &benchServe{
+			Clients: clients, BaseQPS: base.qps, LoadQPS: load.qps,
+			Speedup: load.qps / base.qps,
+			OK:      base.ok + load.ok, Rejected: base.rejected + load.rejected,
+			Errors:    base.errors + load.errors,
+			ServerP50: st.Queries.LatencyMS.P50,
+			ServerP90: st.Queries.LatencyMS.P90,
+			ServerP99: st.Queries.LatencyMS.P99,
+		},
+	})
 }
 
 // template1Pool instantiates one Template-1 query per available constant.
@@ -175,6 +198,99 @@ func drive(cl *server.Client, n int, d time.Duration, queries []string) loadResu
 // seeded transient-fault injector plus a retry policy that masks it.
 var faultProb float64
 
+// jsonPath is the -json-out destination; empty disables the report.
+var jsonPath string
+
+// ---------------------------------------------------------------------------
+// Machine-readable report (-json-out)
+
+// benchQuantiles summarizes one latency distribution, estimated from an
+// obs.Histogram (fixed buckets, linear interpolation — the same estimate
+// Prometheus' histogram_quantile produces from the /metrics export).
+type benchQuantiles struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func quantiles(h *obs.Histogram) benchQuantiles {
+	s := h.Snapshot()
+	q := benchQuantiles{Count: s.Count}
+	if s.Count > 0 {
+		q.MeanMS = 1000 * s.Sum / float64(s.Count)
+		q.P50MS = 1000 * s.Quantile(0.50)
+		q.P95MS = 1000 * s.Quantile(0.95)
+		q.P99MS = 1000 * s.Quantile(0.99)
+	}
+	return q
+}
+
+// benchCell is one (template, run) row of the Table 1 reproduction.
+type benchCell struct {
+	Template       int     `json:"template"`
+	Run            int     `json:"run"`
+	Queries        int     `json:"queries"`
+	SyncMeanS      float64 `json:"sync_mean_s"`
+	AsyncMeanS     float64 `json:"async_mean_s"`
+	Improvement    float64 `json:"improvement"`
+	MaxConcurrency int     `json:"max_concurrency"`
+}
+
+// benchPump is the pump-counter snapshot at the end of the run.
+type benchPump struct {
+	Registered  int64 `json:"registered"`
+	Started     int64 `json:"started"`
+	Completed   int64 `json:"completed"`
+	CacheHits   int64 `json:"cache_hits"`
+	Coalesced   int64 `json:"coalesced"`
+	Retries     int64 `json:"retries"`
+	CallsFailed int64 `json:"calls_failed"`
+	MaxActive   int   `json:"max_active"`
+}
+
+// benchServe is the -serve mode summary.
+type benchServe struct {
+	Clients   int     `json:"clients"`
+	BaseQPS   float64 `json:"base_qps"`
+	LoadQPS   float64 `json:"load_qps"`
+	Speedup   float64 `json:"speedup"`
+	OK        int64   `json:"ok"`
+	Rejected  int64   `json:"rejected"`
+	Errors    int64   `json:"errors"`
+	ServerP50 float64 `json:"server_p50_ms"`
+	ServerP90 float64 `json:"server_p90_ms"`
+	ServerP99 float64 `json:"server_p99_ms"`
+}
+
+// benchReport is the -json-out document.
+type benchReport struct {
+	Mode          string                    `json:"mode"`
+	LatencyBaseMS float64                   `json:"latency_base_ms"`
+	FaultProb     float64                   `json:"fault_prob,omitempty"`
+	Results       []benchCell               `json:"results,omitempty"`
+	Latency       map[string]benchQuantiles `json:"latency,omitempty"`
+	Pump          *benchPump                `json:"pump,omitempty"`
+	Serve         *benchServe               `json:"serve,omitempty"`
+}
+
+// writeReport marshals the report to -json-out (no-op when unset).
+func writeReport(rep benchReport) {
+	if jsonPath == "" {
+		return
+	}
+	rep.FaultProb = faultProb
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
 func newEnv(model search.LatencyModel, useHTTP bool, maxTotal, maxDest, cacheSize int) *harness.Env {
 	dir, err := os.MkdirTemp("", "wsqbench-*")
 	if err != nil {
@@ -226,6 +342,25 @@ func table1(model search.LatencyModel, template, runs, instances int, useHTTP bo
 	}
 	fmt.Println()
 	fmt.Print(harness.FormatTable1(results))
+	cells := make([]benchCell, len(results))
+	for i, r := range results {
+		cells[i] = benchCell{
+			Template: r.Template, Run: r.Run, Queries: r.Queries,
+			SyncMeanS: r.SyncMean.Seconds(), AsyncMeanS: r.AsyncMean.Seconds(),
+			Improvement: r.Improvement, MaxConcurrency: r.MaxConcurrency,
+		}
+	}
+	writeReport(benchReport{
+		Mode:          "table1",
+		LatencyBaseMS: float64(model.Base.Microseconds()) / 1000.0,
+		Results:       cells,
+		// No pump snapshot here: ResetBetweenRuns zeroes the counters before
+		// the (pump-less) synchronous pass, so the end state is vacuous.
+		Latency: map[string]benchQuantiles{
+			"sync":  quantiles(env.SyncLatency),
+			"async": quantiles(env.AsyncLatency),
+		},
+	})
 	if faultProb > 0 {
 		st := env.DB.Pump().Stats()
 		av, g := env.FlakyAV.Stats(), env.FlakyGoogle.Stats()

@@ -19,13 +19,17 @@
 //
 //	POST /query   {"sql": "...", "timeout_ms": 500}  -> columns + rows
 //	GET  /query?q=SELECT...                          -> same
+//	GET  /query?q=...&trace=1                        -> + per-operator span tree
 //	GET  /statusz                                    -> pump/cache/latency stats
+//	GET  /metrics                                    -> Prometheus text exposition
+//	GET  /debug/pprof/                               -> Go profiling endpoints
 //	GET  /healthz                                    -> liveness
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -60,6 +64,7 @@ func main() {
 	degradeFlag := flag.String("degrade", "fail", "default degradation policy when calls exhaust retries: fail|drop|partial")
 	flaky := flag.Float64("flaky", 0, "inject transient faults into in-process engines with this probability")
 	seed := flag.Int64("seed", 1, "seed for latency jitter and fault injection")
+	requestLog := flag.String("request-log", "", "write one JSON line per /query to this file ('-' = stderr)")
 	flag.Parse()
 
 	degrade, err := exec.ParseDegrade(*degradeFlag)
@@ -121,15 +126,31 @@ func main() {
 		fatal(err)
 	}
 
+	var logW io.Writer
+	switch *requestLog {
+	case "":
+	case "-":
+		logW = os.Stderr
+	default:
+		f, err := os.OpenFile(*requestLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		logW = f
+	}
+
 	srv := server.New(db, server.Options{
 		MaxConcurrentQueries: *maxQueries,
 		MaxQueueDepth:        *queueDepth,
 		DefaultTimeout:       *timeout,
 		AllowWrites:          *allowWrites,
 		DefaultDegrade:       degrade,
+		RequestLog:           logW,
 	})
 	log.Printf("wsqd listening on http://%s (max-queries=%d queue-depth=%d cache=%d writes=%v)",
 		*addr, *maxQueries, *queueDepth, *cacheSize, *allowWrites)
+	log.Printf("observability: /metrics (Prometheus), /debug/pprof/, /query?...&trace=1 (span tree)")
 	log.Printf("try: curl 'http://%s/query?q=SELECT+Name,+Count+FROM+States,+WebCount+WHERE+Name+%%3D+T1+LIMIT+3'", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)

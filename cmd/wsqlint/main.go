@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wsqlint [-json] [-rules r1,r2] [-list] [packages]
+//	wsqlint [-json] [-rules r1,r2] [-list] [-no-ignore] [packages]
 //
 // Packages default to ./... relative to the enclosing module. The
 // -json mode emits a stable machine-readable report for CI annotation:
@@ -54,6 +54,7 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as stable JSON")
 	ruleList := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	noIgnore := fs.Bool("no-ignore", false, "disable //lint:ignore suppression (exemption-free mode)")
 	debug := fs.Bool("debug", false, "print type-checker noise (never affects exit status)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,7 +109,11 @@ func run(args []string) int {
 		}
 	}
 
-	diags := lint.Run(pkgs, rules)
+	runFn := lint.Run
+	if *noIgnore {
+		runFn = lint.RunNoIgnore
+	}
+	diags := runFn(pkgs, rules)
 	if *jsonOut {
 		report := jsonReport{Diagnostics: make([]jsonDiag, 0, len(diags)), Count: len(diags)}
 		for _, d := range diags {

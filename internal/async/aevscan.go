@@ -24,6 +24,9 @@ type AEVScan struct {
 	emitted bool
 	callID  types.CallID
 	args    []types.Value
+	// nCalls counts pump registrations across every Open of this instance,
+	// for the span trace (one registration per outer binding).
+	nCalls int64
 }
 
 // NewAEVScan builds an asynchronous external scan.
@@ -54,6 +57,7 @@ func (s *AEVScan) Open(ctx *exec.Context) error {
 	}
 	s.args = args
 	ctx.Stats.ExternalCalls++
+	s.nCalls++
 	src := s.Source
 	// Registering under the execution context ties the call's lifetime to
 	// the query: if the deadline expires while the call is still queued,
@@ -93,6 +97,11 @@ func (s *AEVScan) Children() []exec.Operator { return nil }
 
 // SetChild implements exec.Operator.
 func (s *AEVScan) SetChild(int, exec.Operator) { panic("AEVScan has no children") }
+
+// SpanExtras implements exec.SpanExtras: calls registered with the pump.
+func (s *AEVScan) SpanExtras() map[string]int64 {
+	return map[string]int64{"calls": s.nCalls}
+}
 
 // Name implements exec.Operator.
 func (s *AEVScan) Name() string { return "AEVScan" }

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -99,14 +100,19 @@ type Pump struct {
 	callsFailed  int64
 	maxActive    int
 	closed       bool
+
+	// metrics holds the registry handles attached by Observe; nil until
+	// then. Read lock-free on the hot paths (several run outside p.mu).
+	metrics atomic.Pointer[pumpMetrics]
 }
 
 type pumpCall struct {
-	id   types.CallID
-	ctx  context.Context
-	dest string
-	key  string
-	fn   func() ([]types.Tuple, error)
+	id       types.CallID
+	ctx      context.Context
+	dest     string
+	key      string
+	enqueued time.Time
+	fn       func() ([]types.Tuple, error)
 }
 
 // DefaultMaxTotal bounds total in-flight calls when no limit is given.
@@ -212,7 +218,7 @@ func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]t
 		}
 		p.inflight[key] = []types.CallID{id}
 	}
-	p.queue = append(p.queue, &pumpCall{id: id, ctx: ctx, dest: dest, key: key, fn: fn})
+	p.queue = append(p.queue, &pumpCall{id: id, ctx: ctx, dest: dest, key: key, enqueued: time.Now(), fn: fn})
 	p.dispatchLocked()
 	return id
 }
@@ -236,6 +242,9 @@ func (p *Pump) dispatchLocked() {
 			continue
 		}
 		p.queue = append(p.queue[:i], p.queue[i+1:]...)
+		if m := p.metrics.Load(); m != nil {
+			m.slotWait.Observe(time.Since(c.enqueued).Seconds())
+		}
 		p.grabTokenLocked(c.dest)
 		p.started++
 		go p.run(c)
@@ -285,6 +294,9 @@ func (p *Pump) run(c *pumpCall) {
 		// reached, error elsewhere) are cancellations, not call failures:
 		// retrying was rightly suppressed, and nobody will read the result.
 		p.callsFailed++
+		if m := p.metrics.Load(); m != nil {
+			m.failures.With(c.dest).Inc()
+		}
 	}
 	ids := []types.CallID{c.id}
 	if coalesced, ok := p.inflight[c.key]; ok {
@@ -327,6 +339,9 @@ func (p *Pump) execute(c *pumpCall) ([]types.Tuple, error) {
 				return nil, fmt.Errorf("%w (after %v)", err, lastErr)
 			}
 			p.count(&p.retries)
+			if m := p.metrics.Load(); m != nil {
+				m.retries.With(c.dest).Inc()
+			}
 		}
 		rows, err := p.attemptOnce(c, pol)
 		if err == nil {
@@ -350,7 +365,7 @@ func (p *Pump) execute(c *pumpCall) ([]types.Tuple, error) {
 func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) {
 	if pol.CallTimeout <= 0 && pol.HedgeAfter <= 0 {
 		// Fast path: execute inline, as the pre-policy pump did.
-		rows, err := c.fn()
+		rows, err := p.timedCall(c)
 		p.releaseToken(c.dest)
 		return rows, err
 	}
@@ -371,7 +386,7 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 		// c.fn() returning and the buffered outcome channel.
 		//lint:ignore goroutinectx engine calls are uninterruptible; the slot token must be held until c.fn returns
 		go func() {
-			rows, err := c.fn()
+			rows, err := p.timedCall(c)
 			p.releaseToken(c.dest)
 			ch <- outcome{rows: rows, err: err, hedged: hedged}
 		}()
@@ -397,6 +412,9 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 		case o := <-ch:
 			if o.hedged {
 				p.count(&p.hedgeWins)
+				if m := p.metrics.Load(); m != nil {
+					m.hedgeWins.With(c.dest).Inc()
+				}
 			}
 			return o.rows, o.err
 		case <-hedgeC:
@@ -405,6 +423,9 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 			// queued calls.
 			if p.tryAcquireToken(c.dest) {
 				p.count(&p.hedges)
+				if m := p.metrics.Load(); m != nil {
+					m.hedges.With(c.dest).Inc()
+				}
 				launch(true)
 				hedgesLeft--
 			}
@@ -415,11 +436,30 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 			}
 		case <-timeoutC:
 			p.count(&p.callTimeouts)
+			if m := p.metrics.Load(); m != nil {
+				m.timeouts.With(c.dest).Inc()
+			}
 			return nil, fmt.Errorf("%w after %v", ErrCallTimeout, pol.CallTimeout)
 		case <-c.ctx.Done():
 			return nil, c.ctx.Err()
 		}
 	}
+}
+
+// timedCall runs the engine call, recording its wall time in the
+// per-destination latency histogram when metrics are attached. Every
+// physical execution — first attempt, retry, or hedge — flows through
+// here, so the histogram reflects what the engines actually did, not
+// just what answered the query.
+func (p *Pump) timedCall(c *pumpCall) ([]types.Tuple, error) {
+	m := p.metrics.Load()
+	if m == nil {
+		return c.fn()
+	}
+	start := time.Now()
+	rows, err := c.fn()
+	m.callLatency.With(c.dest).Observe(time.Since(start).Seconds())
+	return rows, err
 }
 
 // jitteredBackoff computes the delay before retry n (0-based), adding the
@@ -450,6 +490,9 @@ func (p *Pump) releaseToken(dest string) {
 	defer p.mu.Unlock()
 	p.activeTotal--
 	p.activeDest[dest]--
+	if m := p.metrics.Load(); m != nil {
+		m.destInflight.With(dest).Dec()
+	}
 	if !p.closed {
 		p.dispatchLocked()
 	}
@@ -484,6 +527,7 @@ func (p *Pump) acquireToken(c *pumpCall) error {
 			}
 		}()
 	}
+	start := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -494,6 +538,9 @@ func (p *Pump) acquireToken(c *pumpCall) error {
 			return fmt.Errorf("retry: %w", ErrPumpClosed)
 		}
 		if p.activeTotal < p.maxTotal && p.activeDest[c.dest] < p.limitFor(c.dest) {
+			if m := p.metrics.Load(); m != nil {
+				m.slotWait.Observe(time.Since(start).Seconds())
+			}
 			p.grabTokenLocked(c.dest)
 			return nil
 		}
@@ -507,6 +554,9 @@ func (p *Pump) grabTokenLocked(dest string) {
 	p.activeDest[dest]++
 	if p.activeTotal > p.maxActive {
 		p.maxActive = p.activeTotal
+	}
+	if m := p.metrics.Load(); m != nil {
+		m.destInflight.With(dest).Inc()
 	}
 }
 

@@ -36,6 +36,15 @@ type ReqSync struct {
 	waiting   map[types.CallID][]*bufTuple
 	npending  int
 	opened    bool
+
+	// Trace-profile counters (SpanExtras), accumulated across every Open
+	// of this instance — a dependent join above re-opens its inner side
+	// once per outer binding, and the profile should cover them all.
+	nSettled  int64 // calls settled (result consumed from the pump)
+	nPatched  int64 // tuples completed by patching in a result row
+	nExpanded int64 // extra tuple copies generated (multi-row results, §4.3)
+	nCanceled int64 // tuples canceled (zero-row results or degrade-drop)
+	nDegraded int64 // failed calls absorbed by a degradation policy
 }
 
 type bufTuple struct {
@@ -131,16 +140,22 @@ func (r *ReqSync) settle(ctx *exec.Context, id types.CallID, res CallResult) err
 	buffered := r.waiting[id]
 	delete(r.waiting, id)
 	r.npending--
+	r.nSettled++
 	if res.Err != nil {
 		switch ctx.Degrade {
 		case exec.DegradeDrop:
 			ctx.Stats.DegradedCalls++
+			r.nDegraded++
 			for _, bt := range buffered {
-				bt.canceled = true
+				if !bt.canceled {
+					bt.canceled = true
+					r.nCanceled++
+				}
 			}
 			return nil
 		case exec.DegradePartial:
 			ctx.Stats.DegradedCalls++
+			r.nDegraded++
 			for _, bt := range buffered {
 				if bt.canceled {
 					continue
@@ -148,6 +163,7 @@ func (r *ReqSync) settle(ctx *exec.Context, id types.CallID, res CallResult) err
 				// patch with an empty row: every referenced field is beyond
 				// the row's end, so each placeholder becomes NULL.
 				patch(bt.t, id, nil)
+				r.nPatched++
 				if !bt.t.HasPlaceholder() {
 					r.ready = append(r.ready, bt.t)
 				}
@@ -165,6 +181,7 @@ func (r *ReqSync) settle(ctx *exec.Context, id types.CallID, res CallResult) err
 		case 0:
 			// Case 1: the call returned no rows — cancel the tuple.
 			bt.canceled = true
+			r.nCanceled++
 		default:
 			// Case 3 first: n-1 additional copies, each patched with one of
 			// the extra result rows. Copies are cloned before the original
@@ -172,6 +189,7 @@ func (r *ReqSync) settle(ctx *exec.Context, id types.CallID, res CallResult) err
 			// re-registered under any calls still pending (Section 4.4).
 			for _, row := range res.Rows[1:] {
 				c := patch(bt.t.Clone(), id, row)
+				r.nExpanded++
 				if c.HasPlaceholder() {
 					r.register(&bufTuple{t: c})
 				} else {
@@ -180,6 +198,7 @@ func (r *ReqSync) settle(ctx *exec.Context, id types.CallID, res CallResult) err
 			}
 			// Case 2: patch the original in place with the first row.
 			patch(bt.t, id, res.Rows[0])
+			r.nPatched++
 			if !bt.t.HasPlaceholder() {
 				r.ready = append(r.ready, bt.t)
 			}
@@ -268,6 +287,19 @@ func (r *ReqSync) SetChild(i int, op exec.Operator) {
 		panic("ReqSync has a single child")
 	}
 	r.Child = op
+}
+
+// SpanExtras implements exec.SpanExtras: the Section 4.3 settlement
+// profile — calls settled, tuples patched/expanded/canceled, and failed
+// calls absorbed by a degradation policy.
+func (r *ReqSync) SpanExtras() map[string]int64 {
+	return map[string]int64{
+		"settled":  r.nSettled,
+		"patched":  r.nPatched,
+		"expanded": r.nExpanded,
+		"canceled": r.nCanceled,
+		"degraded": r.nDegraded,
+	}
 }
 
 // Name implements exec.Operator.

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sqlparse"
+	"repro/internal/types"
+)
+
+// This file implements EXPLAIN ANALYZE: execute the query with an
+// instrumented plan and return the per-operator span tree instead of the
+// rows. The prefix is intercepted before SQL parsing (like the shell's
+// dot-commands, but inside the DB so it also works for remote wsqd
+// clients), and the rendered profile is returned as an ordinary
+// single-column result so every existing transport can carry it.
+
+// ExplainAnalyze executes a SELECT/UNION with tracing enabled and
+// returns the normal row result with Result.Trace populated. Tests and
+// programmatic consumers use this; the textual `EXPLAIN ANALYZE <query>`
+// SQL form returns the rendered tree instead of the rows.
+func (db *DB) ExplainAnalyze(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	opts.Trace = true
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *sqlparse.Select, *sqlparse.Union:
+		return db.runQueryable(ctx, st, opts)
+	default:
+		return nil, fmt.Errorf("EXPLAIN ANALYZE expects a query, got %T", st)
+	}
+}
+
+// stripExplainAnalyze matches a leading `EXPLAIN ANALYZE ` prefix
+// (case-insensitive, any whitespace) and returns the remaining query.
+func stripExplainAnalyze(sql string) (string, bool) {
+	rest, ok := cutKeyword(strings.TrimSpace(sql), "EXPLAIN")
+	if !ok {
+		return "", false
+	}
+	rest, ok = cutKeyword(rest, "ANALYZE")
+	if !ok {
+		return "", false
+	}
+	return rest, true
+}
+
+// cutKeyword removes a leading keyword followed by whitespace,
+// case-insensitively.
+func cutKeyword(s, kw string) (string, bool) {
+	if len(s) <= len(kw) || !strings.EqualFold(s[:len(kw)], kw) {
+		return "", false
+	}
+	rest := s[len(kw):]
+	trimmed := strings.TrimLeft(rest, " \t\r\n")
+	if trimmed == rest { // keyword not followed by whitespace (e.g. EXPLAINX)
+		return "", false
+	}
+	return trimmed, true
+}
+
+// explainAnalyze runs the query under tracing and renders the span tree
+// as a one-column result, one line per row.
+func (db *DB) explainAnalyze(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	res, err := db.ExplainAnalyze(ctx, sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(res.Trace.Render(), "\n"), "\n")
+	lines = append(lines,
+		fmt.Sprintf("total: %v  rows=%d  external_calls=%d  degraded_calls=%d",
+			res.Trace.Dur.Round(time.Microsecond), len(res.Rows),
+			res.Stats.ExternalCalls, res.Stats.DegradedCalls))
+	rows := make([]types.Tuple, len(lines))
+	for i, l := range lines {
+		rows[i] = types.Tuple{types.Str(l)}
+	}
+	return &Result{Columns: []string{"EXPLAIN ANALYZE"}, Rows: rows, Stats: res.Stats, Trace: res.Trace}, nil
+}

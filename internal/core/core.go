@@ -29,6 +29,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/schema"
 	"repro/internal/search"
@@ -69,6 +70,11 @@ type Config struct {
 	// Degrade is the default failed-call degradation policy for queries
 	// that do not choose one (fail / drop / partial).
 	Degrade exec.DegradePolicy
+	// Registry receives the DB's metrics (pump slot-wait and per-dest
+	// latency histograms, engine request histograms, ...). When nil the
+	// DB creates a private one, so metrics are always recorded; a server
+	// passes its own registry to expose them on /metrics.
+	Registry *obs.Registry
 }
 
 // DB is an open WSQ database. It is safe for concurrent use: any number of
@@ -83,6 +89,7 @@ type DB struct {
 	cache   *cache.Cache
 	pump    *async.Pump
 	planner *plan.Planner
+	reg     *obs.Registry
 
 	// async toggles asynchronous iteration; atomic so SetAsync can race
 	// with concurrent query planning without a lock.
@@ -97,6 +104,9 @@ type Result struct {
 	Columns []string
 	Rows    []types.Tuple
 	Stats   exec.Stats
+	// Trace is the query's per-operator span tree when tracing was
+	// requested (QueryOptions.Trace or EXPLAIN ANALYZE); nil otherwise.
+	Trace *obs.Span
 }
 
 // Open opens (creating if necessary) a database.
@@ -115,6 +125,10 @@ func Open(cfg Config) (*DB, error) {
 		c = cache.New(cfg.CacheSize)
 		rc = c
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	db := &DB{
 		cfg:     cfg,
 		cat:     cat,
@@ -122,8 +136,10 @@ func Open(cfg Config) (*DB, error) {
 		vtabs:   vt,
 		cache:   c,
 		pump:    async.NewPump(cfg.MaxConcurrentCalls, cfg.MaxCallsPerDest, rc),
+		reg:     reg,
 	}
 	db.pump.SetRetryPolicy(cfg.Retry)
+	db.pump.Observe(reg)
 	db.async.Store(cfg.Async)
 	db.planner = plan.New(cat, vt)
 	db.planner.Cache = rc
@@ -141,9 +157,18 @@ func (db *DB) Close() error {
 
 // RegisterEngine makes a search engine available to the virtual tables
 // under its name plus the given aliases (e.g. "AV" for "altavista").
+// Engines that are observable (the Delayed/Flaky simulation wrappers)
+// are attached to the DB's metrics registry.
 func (db *DB) RegisterEngine(e search.Engine, aliases ...string) {
 	db.engines.Register(e, aliases...)
+	if o, ok := e.(obs.Observable); ok {
+		o.Observe(db.reg)
+	}
 }
+
+// Metrics exposes the DB's metrics registry (pump, engines, and anything
+// else the embedding process registers on it).
+func (db *DB) Metrics() *obs.Registry { return db.reg }
 
 // Engines exposes the engine registry.
 func (db *DB) Engines() *search.Registry { return db.engines }
@@ -168,6 +193,10 @@ type QueryOptions struct {
 	// Degrade overrides the DB's default failed-call degradation policy
 	// when non-nil.
 	Degrade *exec.DegradePolicy
+	// Trace instruments the plan so Result.Trace carries the query's
+	// per-operator span tree (timings, cardinalities, patch/expansion
+	// counts). Costs two time.Now calls per operator invocation.
+	Trace bool
 }
 
 // Exec parses and executes one SQL statement with no deadline.
@@ -186,6 +215,9 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 
 // ExecContextOpts is ExecContext with per-statement options.
 func (db *DB) ExecContextOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	if rest, ok := stripExplainAnalyze(sql); ok {
+		return db.explainAnalyze(ctx, rest, opts)
+	}
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -230,6 +262,9 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 // QueryContextOpts is QueryContext with per-statement options (e.g. the
 // degradation policy wsqd threads through from the client request).
 func (db *DB) QueryContextOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	if rest, ok := stripExplainAnalyze(sql); ok {
+		return db.explainAnalyze(ctx, rest, opts)
+	}
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -320,12 +355,17 @@ func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement, opts Qu
 	if err != nil {
 		return nil, err
 	}
+	var span *obs.Span
+	if opts.Trace {
+		op, span = exec.Instrument(op)
+	}
 	ctx := exec.NewContextWith(goCtx)
 	ctx.Degrade = db.cfg.Degrade
 	if opts.Degrade != nil {
 		ctx.Degrade = *opts.Degrade
 	}
 	ctx.RetryCall = db.pump.CallWithRetry
+	ctx.Trace = span
 	rows, err := exec.Run(ctx, op)
 	if err != nil {
 		return nil, err
@@ -334,7 +374,7 @@ func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement, opts Qu
 	for i, c := range op.Schema().Cols {
 		cols[i] = c.Name
 	}
-	return &Result{Columns: cols, Rows: rows, Stats: ctx.Stats}, nil
+	return &Result{Columns: cols, Rows: rows, Stats: ctx.Stats, Trace: span}, nil
 }
 
 // Explain returns the textual plan for a SELECT, in both modes when async

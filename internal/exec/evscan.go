@@ -47,6 +47,10 @@ type EVScan struct {
 
 	rows []types.Tuple
 	pos  int
+	// Per-instance profile counters for the span trace (EXPLAIN ANALYZE):
+	// calls actually issued vs served from cache, across every Open of
+	// this scan (a dependent join re-opens it once per outer binding).
+	nCalls, nCacheHits int64
 }
 
 // ResultCache memoizes external call results.
@@ -95,6 +99,7 @@ func (s *EVScan) Open(ctx *Context) error {
 	key := s.Source.CacheKey(args)
 	if s.Cache != nil {
 		if rows, ok := s.Cache.Get(key); ok {
+			s.nCacheHits++
 			s.rows = echoRows(args, s.Source.NumEcho(), rows)
 			s.pos = 0
 			return nil
@@ -108,6 +113,7 @@ func (s *EVScan) Open(ctx *Context) error {
 		}
 	}
 	ctx.Stats.ExternalCalls++
+	s.nCalls++
 	var rows []types.Tuple
 	if ctx.RetryCall != nil {
 		rows, err = ctx.RetryCall(ctx.Ctx, func() ([]types.Tuple, error) {
@@ -183,6 +189,12 @@ func (s *EVScan) Children() []Operator { return nil }
 
 // SetChild implements Operator.
 func (s *EVScan) SetChild(int, Operator) { panic("EVScan has no children") }
+
+// SpanExtras implements the trace-profile hook: external calls issued
+// and cache hits served, accumulated over every Open.
+func (s *EVScan) SpanExtras() map[string]int64 {
+	return map[string]int64{"calls": s.nCalls, "cache_hits": s.nCacheHits}
+}
 
 // Name implements Operator.
 func (s *EVScan) Name() string { return "EVScan" }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/types"
 )
@@ -79,7 +80,12 @@ type Context struct {
 	// RetryCall, when set, wraps synchronous external calls (EVScan) in the
 	// engine-wide retry policy. Asynchronous calls retry inside the pump.
 	RetryCall func(ctx context.Context, do func() ([]types.Tuple, error)) ([]types.Tuple, error)
-	Stats     Stats
+	// Trace is the root of the query's span tree when the plan was
+	// instrumented (Instrument); nil otherwise. Operators never write it —
+	// the decorators do — but consumers reached through the context (the
+	// server, EXPLAIN ANALYZE) read the finished tree from here.
+	Trace *obs.Span
+	Stats Stats
 }
 
 // NewContext returns a fresh execution context with no deadline.

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// SpanExtras is implemented by operators that expose extra per-span
+// counters beyond time and cardinality — ReqSync reports placeholder
+// patches/expansions/cancellations, the external scans report calls
+// issued. The instrumented executor collects the extras when the
+// operator closes.
+type SpanExtras interface {
+	SpanExtras() map[string]int64
+}
+
+// Instrument wraps every operator of a plan in a timing decorator and
+// returns the instrumented plan plus the root of its span tree. The
+// span tree mirrors the plan tree exactly (span parentage == operator
+// parentage), and each span accumulates the *inclusive* wall time spent
+// inside its operator's Open/Next/Close calls: a parent's time includes
+// its children's, so the root span's duration is the query's execution
+// time and Span.Self exposes per-operator exclusive time.
+//
+// Because the decorators nest through the ordinary iterator protocol,
+// time an operator spends blocked — a ReqSync waiting on the request
+// pump, an EVScan inside a synchronous engine call — is attributed to
+// that operator's self time. This is the Volcano-style per-operator
+// profile the paper's latency-hiding claim is verified against.
+//
+// Instrument mutates the plan (children are replaced by their wrapped
+// forms); plans are built per-query, so this is safe. It must run after
+// any structural rewrites (async.Rewrite).
+func Instrument(op Operator) (Operator, *obs.Span) {
+	w := instrument(op)
+	return w, w.span
+}
+
+func instrument(op Operator) *spanOp {
+	span := obs.NewSpan(op.Name(), op.Describe())
+	for i, c := range op.Children() {
+		cw := instrument(c)
+		span.AddChild(cw.span)
+		op.SetChild(i, cw)
+	}
+	return &spanOp{inner: op, span: span}
+}
+
+// spanOp is the timing decorator. It is transparent to plan inspection:
+// Name, Describe, Schema, and the child accessors all delegate, so
+// Explain and Shape render the instrumented tree identically.
+type spanOp struct {
+	inner Operator
+	span  *obs.Span
+}
+
+func (w *spanOp) Schema() *schema.Schema { return w.inner.Schema() }
+
+func (w *spanOp) Open(ctx *Context) error {
+	start := time.Now()
+	if w.span.Opens == 0 {
+		w.span.Start = start
+	}
+	w.span.Opens++
+	err := w.inner.Open(ctx)
+	w.span.Dur += time.Since(start)
+	return err
+}
+
+func (w *spanOp) Next(ctx *Context) (t types.Tuple, ok bool, err error) {
+	start := time.Now()
+	t, ok, err = w.inner.Next(ctx)
+	w.span.Dur += time.Since(start)
+	if ok {
+		w.span.Rows++
+	}
+	return t, ok, err
+}
+
+func (w *spanOp) Close() error {
+	start := time.Now()
+	err := w.inner.Close()
+	w.span.Dur += time.Since(start)
+	// Operator extras are cumulative over the operator's life, and Close
+	// may run many times (a dependent join closes its inner subtree once
+	// per outer binding, error paths close eagerly, Run closes again) —
+	// so overwrite with the latest snapshot rather than accumulating.
+	if ex, ok := w.inner.(SpanExtras); ok {
+		for k, v := range ex.SpanExtras() {
+			w.span.SetExtra(k, v)
+		}
+	}
+	return err
+}
+
+func (w *spanOp) Children() []Operator        { return w.inner.Children() }
+func (w *spanOp) SetChild(i int, op Operator) { w.inner.SetChild(i, op) }
+func (w *spanOp) Name() string                { return w.inner.Name() }
+func (w *spanOp) Describe() string            { return w.inner.Describe() }
+
+// Unwrap exposes the decorated operator (tests reach through the
+// instrumentation to assert on concrete operator state).
+func (w *spanOp) Unwrap() Operator { return w.inner }

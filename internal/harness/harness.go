@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/types"
 	"repro/internal/websim"
@@ -58,6 +59,12 @@ type Env struct {
 	// nil unless Options.Faults was set.
 	FlakyAV, FlakyGoogle *search.Flaky
 
+	// SyncLatency and AsyncLatency accumulate per-query wall time (seconds)
+	// across every TimedRun, one histogram per execution mode. They are
+	// deliberately not cleared by ResetBetweenRuns: percentile reporting
+	// (wsqbench -json-out) wants the whole experiment's distribution.
+	SyncLatency, AsyncLatency *obs.Histogram
+
 	servers []*http.Server
 }
 
@@ -67,7 +74,10 @@ type Env struct {
 // CSFields, and Movies tables.
 func NewEnv(opts Options) (*Env, error) {
 	corpus := websim.Default()
-	env := &Env{}
+	env := &Env{
+		SyncLatency:  obs.NewHistogram(nil),
+		AsyncLatency: obs.NewHistogram(nil),
+	}
 	// One seeded RNG per engine, shared by the latency wrapper and the
 	// fault injector so a single seed fixes the whole stochastic schedule.
 	avRng := search.NewRand(1000 + opts.Seed)
@@ -277,13 +287,19 @@ func TemplateQueries(n, run, instances int) ([]string, error) {
 func TimedRun(env *Env, queries []string, async bool) (time.Duration, error) {
 	env.DB.SetAsync(async)
 	env.ResetBetweenRuns()
+	hist := env.SyncLatency
+	if async {
+		hist = env.AsyncLatency
+	}
 	var total time.Duration
 	for _, q := range queries {
 		start := time.Now()
 		if _, err := env.DB.Query(q); err != nil {
 			return 0, fmt.Errorf("%s: %w", firstLine(q), err)
 		}
-		total += time.Since(start)
+		d := time.Since(start)
+		hist.ObserveDuration(d)
+		total += d
 	}
 	return total / time.Duration(len(queries)), nil
 }

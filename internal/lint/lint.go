@@ -101,13 +101,25 @@ func RuleNames(rules []Rule) []string {
 // suppressions, folds in malformed-suppression diagnostics, and returns
 // the surviving findings sorted by position then rule.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	return run(pkgs, rules, true)
+}
+
+// RunNoIgnore is Run with //lint:ignore suppression disabled: every raw
+// diagnostic survives. The check gate uses it to hold designated
+// packages (internal/obs must stay ctxflow-clean) to an exemption-free
+// standard.
+func RunNoIgnore(pkgs []*Package, rules []Rule) []Diagnostic {
+	return run(pkgs, rules, false)
+}
+
+func run(pkgs []*Package, rules []Rule, applyIgnores bool) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		out = append(out, sup.malformed...)
 		for _, r := range rules {
 			for _, d := range r.Check(pkg) {
-				if !sup.covers(r.Name(), d.Pos) {
+				if !applyIgnores || !sup.covers(r.Name(), d.Pos) {
 					out = append(out, d)
 				}
 			}

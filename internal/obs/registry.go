@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// kind classifies a registered metric for TYPE lines and encoding.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindCounterFunc
+	kindHistogram
+	kindCounterVec
+	kindGaugeVec
+	kindHistogramVec
+)
+
+func (k kind) prom() string {
+	switch k {
+	case kindCounter, kindCounterVec, kindCounterFunc:
+		return "counter"
+	case kindHistogram, kindHistogramVec:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type entry struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	metric interface{} // *Counter, *Gauge, func() float64, *Histogram, *CounterVec, ...
+}
+
+// Registry is a named collection of metrics with a Prometheus text
+// encoder (prom.go). Registration is idempotent: asking for an existing
+// name with the same kind returns the existing metric, so independent
+// components (two engines, a pump and a server) can share one family.
+// Re-registering a name with a different kind panics — that is a
+// programming error, caught in tests.
+//
+// A Registry is safe for concurrent registration, observation, and
+// encoding.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Observable is implemented by components that can attach their metrics
+// to a registry (search.Delayed, search.Flaky, async.Pump, ...).
+// Observe must be idempotent: attaching twice to the same registry binds
+// the same underlying metric families.
+type Observable interface {
+	Observe(reg *Registry)
+}
+
+func (r *Registry) get(name string, k kind, build func() interface{}, labels ...string) interface{} {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, k.prom(), e.kind.prom()))
+		}
+		return e.metric
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, k.prom(), e.kind.prom()))
+		}
+		return e.metric
+	}
+	m := build()
+	r.entries[name] = &entry{name: name, kind: k, metric: m, labels: labels}
+	return m
+}
+
+// SetHelp attaches (or replaces) the HELP string of a registered metric.
+// Registration helpers below set it on first creation; SetHelp exists
+// for callers that obtained a family before its help text was known.
+func (r *Registry) setHelp(name, help string) {
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok && e.help == "" {
+		e.help = help
+	}
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := r.get(name, kindCounter, func() interface{} { return &Counter{} }).(*Counter)
+	r.setHelp(name, help)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := r.get(name, kindGauge, func() interface{} { return &Gauge{} }).(*Gauge)
+	r.setHelp(name, help)
+	return g
+}
+
+// GaugeFunc registers a live gauge sampled at encode time (e.g. the
+// pump's instantaneous queue depth). Re-registering replaces the
+// callback, keeping Observe idempotent for components that re-attach.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindGaugeFunc {
+			panic(fmt.Sprintf("obs: metric %q re-registered as gauge func (was %s)", name, e.kind.prom()))
+		}
+		e.metric = fn
+		return
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: kindGaugeFunc, metric: fn}
+}
+
+// CounterFunc registers a counter sampled at encode time, for components
+// that already maintain monotonic counters under their own lock (the
+// pump's Stats fields). Like GaugeFunc, re-registering replaces the
+// callback so Observe stays idempotent.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindCounterFunc {
+			panic(fmt.Sprintf("obs: metric %q re-registered as counter func (was %s)", name, e.kind.prom()))
+		}
+		e.metric = fn
+		return
+	}
+	r.entries[name] = &entry{name: name, help: help, kind: kindCounterFunc, metric: fn}
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket bounds (nil = DefBuckets). Buckets are fixed at
+// first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := r.get(name, kindHistogram, func() interface{} { return NewHistogram(buckets) }).(*Histogram)
+	r.setHelp(name, help)
+	return h
+}
+
+// CounterVec returns the named counter family, creating it on first use.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := r.get(name, kindCounterVec, func() interface{} { return NewCounterVec(labels...) }, labels...).(*CounterVec)
+	r.setHelp(name, help)
+	return v
+}
+
+// GaugeVec returns the named gauge family, creating it on first use.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := r.get(name, kindGaugeVec, func() interface{} { return NewGaugeVec(labels...) }, labels...).(*GaugeVec)
+	r.setHelp(name, help)
+	return v
+}
+
+// HistogramVec returns the named histogram family, creating it on first
+// use with the given buckets (nil = DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	v := r.get(name, kindHistogramVec, func() interface{} { return NewHistogramVec(buckets, labels...) }, labels...).(*HistogramVec)
+	r.setHelp(name, help)
+	return v
+}
+
+// snapshot returns the entries sorted by name for deterministic encoding.
+func (r *Registry) snapshot() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

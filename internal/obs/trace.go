@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one node of a per-query execution trace: an operator of the
+// plan (or an async call stage) with accumulated inclusive wall time,
+// cardinality, and operator-specific extra counters (placeholder patches,
+// tuple expansions, cancellations, registered calls, ...).
+//
+// Span trees are built and mutated by the single goroutine executing the
+// query (the iterator protocol is sequential), then read after the query
+// completes; no locking is needed or provided.
+type Span struct {
+	// Op is the operator's display name ("ReqSync", "DependentJoin", ...).
+	Op string
+	// Detail is the operator's parameter summary ("WebCount", "streaming").
+	Detail string
+	// Start is the wall-clock time of the first Open.
+	Start time.Time
+	// Dur is the inclusive wall time attributed to this subtree: the sum
+	// of time spent inside this operator's Open/Next/Close calls,
+	// including everything its children did beneath those calls.
+	Dur time.Duration
+	// Opens counts Open calls (dependent joins re-open their inner
+	// subtree once per outer binding).
+	Opens int64
+	// Rows counts tuples this operator produced.
+	Rows int64
+	// Extra carries operator-specific counters, e.g. ReqSync's
+	// patched/expanded/canceled or AEVScan's registered calls.
+	Extra map[string]int64
+	// Children mirror the plan tree.
+	Children []*Span
+}
+
+// NewSpan creates a span.
+func NewSpan(op, detail string) *Span {
+	return &Span{Op: op, Detail: detail}
+}
+
+// AddChild appends a child span and returns it.
+func (s *Span) AddChild(c *Span) *Span {
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// AddExtra accumulates an operator-specific counter.
+func (s *Span) AddExtra(key string, n int64) {
+	if n == 0 {
+		return
+	}
+	if s.Extra == nil {
+		s.Extra = make(map[string]int64)
+	}
+	s.Extra[key] += n
+}
+
+// SetExtra overwrites an operator-specific counter with a snapshot
+// value. The instrumented executor uses this on every Close: operator
+// counters are cumulative over the operator's life, so the latest
+// snapshot is the truth even when a dependent join closes its inner
+// subtree once per outer binding.
+func (s *Span) SetExtra(key string, n int64) {
+	if n == 0 && s.Extra[key] == 0 {
+		return
+	}
+	if s.Extra == nil {
+		s.Extra = make(map[string]int64)
+	}
+	s.Extra[key] = n
+}
+
+// Self is the span's exclusive time: inclusive time minus the inclusive
+// time of its children. Blocking in ReqSync.Next waiting on the pump is
+// ReqSync self time — exactly the "where did the wall-clock go" signal.
+func (s *Span) Self() time.Duration {
+	d := s.Dur
+	for _, c := range s.Children {
+		d -= c.Dur
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Walk visits the span and all descendants preorder.
+func (s *Span) Walk(fn func(*Span)) {
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Shape renders the nesting structure ("ReqSync(DependentJoin(Scan,AEVScan))"),
+// mirroring exec.Shape so tests can compare a trace against its plan.
+func (s *Span) Shape() string {
+	if len(s.Children) == 0 {
+		return s.Op
+	}
+	parts := make([]string, len(s.Children))
+	for i, c := range s.Children {
+		parts[i] = c.Shape()
+	}
+	return s.Op + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Render formats the trace as an indented tree, one operator per line
+// with inclusive time, self time, cardinality, and extras — the body of
+// EXPLAIN ANALYZE.
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.renderInto(&b, 0)
+	return b.String()
+}
+
+func (s *Span) renderInto(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(s.Op)
+	if s.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(s.Detail)
+	}
+	fmt.Fprintf(b, "  (time=%s self=%s rows=%d", fmtDur(s.Dur), fmtDur(s.Self()), s.Rows)
+	if s.Opens > 1 {
+		fmt.Fprintf(b, " opens=%d", s.Opens)
+	}
+	for _, k := range sortedKeys(s.Extra) {
+		fmt.Fprintf(b, " %s=%d", k, s.Extra[k])
+	}
+	b.WriteString(")\n")
+	for _, c := range s.Children {
+		c.renderInto(b, depth+1)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtDur rounds durations for display without drowning the tree in
+// nanosecond noise.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// SpanJSON is the wire form of a span tree (wsqd's ?trace=1 response).
+// Times are microseconds; Start is the offset from the root span's
+// start, so traces are stable under clock representation.
+type SpanJSON struct {
+	Op       string           `json:"op"`
+	Detail   string           `json:"detail,omitempty"`
+	StartUS  float64          `json:"start_us"`
+	DurUS    float64          `json:"dur_us"`
+	SelfUS   float64          `json:"self_us"`
+	Rows     int64            `json:"rows"`
+	Opens    int64            `json:"opens,omitempty"`
+	Extra    map[string]int64 `json:"extra,omitempty"`
+	Children []*SpanJSON      `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its wire form.
+func (s *Span) JSON() *SpanJSON {
+	return s.jsonFrom(s.Start)
+}
+
+func (s *Span) jsonFrom(epoch time.Time) *SpanJSON {
+	out := &SpanJSON{
+		Op:      s.Op,
+		Detail:  s.Detail,
+		StartUS: float64(s.Start.Sub(epoch).Microseconds()),
+		DurUS:   float64(s.Dur.Microseconds()),
+		SelfUS:  float64(s.Self().Microseconds()),
+		Rows:    s.Rows,
+		Opens:   s.Opens,
+		Extra:   s.Extra,
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.jsonFrom(epoch))
+	}
+	return out
+}

@@ -2,8 +2,10 @@ package search
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FaultKind classifies an injected fault.
@@ -108,8 +110,13 @@ type Flaky struct {
 	model FaultModel
 	rng   *Rand
 
-	mu    sync.Mutex
-	stats FlakyStats
+	// Injection counters, atomic (obs.Counter) rather than a
+	// mutex-guarded struct: Stats assembles a FlakyStats snapshot from
+	// individual loads.
+	calls, transient, rateLimit, hard, stalls, slowTails obs.Counter
+
+	// metrics holds registry handles attached by Observe; nil until then.
+	metrics atomic.Pointer[engineMetrics]
 }
 
 // NewFlaky wraps inner with the given fault model, drawing the fault
@@ -125,43 +132,52 @@ func NewFlaky(inner Engine, model FaultModel, rng *Rand) *Flaky {
 // Name implements Engine.
 func (f *Flaky) Name() string { return f.inner.Name() }
 
+// Observe implements obs.Observable: injected faults are counted into
+// the shared wsq_engine_faults_total family by engine and kind. Forwards
+// to the wrapped engine if it is observable too.
+func (f *Flaky) Observe(reg *obs.Registry) {
+	f.metrics.Store(observeEngine(reg))
+	if o, ok := f.inner.(obs.Observable); ok {
+		o.Observe(reg)
+	}
+}
+
 // inject draws the fault decision for one request. It returns a non-nil
 // error for failing faults; for stalls and slow tails it sleeps and
 // returns nil.
 func (f *Flaky) inject(op string, p FaultProfile) error {
-	f.mu.Lock()
-	f.stats.Calls++
-	f.mu.Unlock()
+	f.calls.Inc()
 	draw := f.rng.Float64()
-	count := func(field *int64) {
-		f.mu.Lock()
-		*field++
-		f.mu.Unlock()
+	count := func(c *obs.Counter, kind FaultKind) {
+		c.Inc()
+		if m := f.metrics.Load(); m != nil {
+			m.faults.With(f.inner.Name(), string(kind)).Inc()
+		}
 	}
 	cum := p.Transient
 	if draw < cum {
-		count(&f.stats.Transient)
+		count(&f.transient, FaultTransient)
 		return &FaultError{Engine: f.inner.Name(), Op: op, Kind: FaultTransient}
 	}
 	cum += p.RateLimit
 	if draw < cum {
-		count(&f.stats.RateLimit)
+		count(&f.rateLimit, FaultRateLimit)
 		return &FaultError{Engine: f.inner.Name(), Op: op, Kind: FaultRateLimit}
 	}
 	cum += p.Hard
 	if draw < cum {
-		count(&f.stats.Hard)
+		count(&f.hard, FaultHard)
 		return &FaultError{Engine: f.inner.Name(), Op: op, Kind: FaultHard}
 	}
 	cum += p.Stall
 	if draw < cum {
-		count(&f.stats.Stalls)
+		count(&f.stalls, FaultStall)
 		time.Sleep(f.model.StallFor)
 		return nil
 	}
 	cum += p.SlowTail
 	if draw < cum {
-		count(&f.stats.SlowTails)
+		count(&f.slowTails, FaultSlowTail)
 		time.Sleep(f.model.SlowBy)
 		return nil
 	}
@@ -194,14 +210,19 @@ func (f *Flaky) Fetch(url string) (string, error) {
 
 // Stats snapshots the injection counters.
 func (f *Flaky) Stats() FlakyStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return FlakyStats{
+		Calls:     f.calls.Value(),
+		Transient: f.transient.Value(),
+		RateLimit: f.rateLimit.Value(),
+		Hard:      f.hard.Value(),
+		Stalls:    f.stalls.Value(),
+		SlowTails: f.slowTails.Value(),
+	}
 }
 
 // ResetStats zeroes the injection counters between experiment runs.
 func (f *Flaky) ResetStats() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats = FlakyStats{}
+	for _, c := range []*obs.Counter{&f.calls, &f.transient, &f.rateLimit, &f.hard, &f.stalls, &f.slowTails} {
+		c.Reset()
+	}
 }

@@ -2,7 +2,10 @@ package search
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LatencyModel describes the simulated per-request delay of a remote
@@ -44,10 +47,17 @@ type Delayed struct {
 	model LatencyModel
 	rng   *Rand
 
+	// statsMu guards the coupled inFlight/maxInFlight pair: the
+	// high-water mark must be updated atomically with the gauge
+	// (ResetStats relies on this to restart the mark from the live
+	// concurrency).
 	statsMu     sync.Mutex
 	inFlight    int
 	maxInFlight int
-	requests    int64
+	requests    obs.Counter
+
+	// metrics holds registry handles attached by Observe; nil until then.
+	metrics atomic.Pointer[engineMetrics]
 }
 
 // NewDelayed wraps inner with the given latency model and jitter seed.
@@ -68,6 +78,17 @@ func NewDelayedRand(inner Engine, model LatencyModel, rng *Rand) *Delayed {
 // Name implements Engine.
 func (d *Delayed) Name() string { return d.inner.Name() }
 
+// Observe implements obs.Observable: it binds the shared engine metric
+// families to reg and forwards to the wrapped engine if it is observable
+// too (a Flaky injector stacked below records its fault counters into
+// the same registry).
+func (d *Delayed) Observe(reg *obs.Registry) {
+	d.metrics.Store(observeEngine(reg))
+	if o, ok := d.inner.(obs.Observable); ok {
+		o.Observe(reg)
+	}
+}
+
 func (d *Delayed) delay(factor float64) {
 	if d.model.Base == 0 && d.model.Jitter == 0 {
 		return
@@ -77,26 +98,37 @@ func (d *Delayed) delay(factor float64) {
 	time.Sleep(total)
 }
 
-func (d *Delayed) enter() {
+// enter records the start of a request and returns the paired exit
+// function, which observes the request's wall time when metrics are
+// attached. Call as `defer d.enter(op)()`.
+func (d *Delayed) enter(op string) func() {
 	d.statsMu.Lock()
 	d.inFlight++
-	d.requests++
 	if d.inFlight > d.maxInFlight {
 		d.maxInFlight = d.inFlight
 	}
 	d.statsMu.Unlock()
-}
-
-func (d *Delayed) exit() {
-	d.statsMu.Lock()
-	d.inFlight--
-	d.statsMu.Unlock()
+	d.requests.Inc()
+	m := d.metrics.Load()
+	if m != nil {
+		m.requests.With(d.inner.Name(), op).Inc()
+		m.inflight.With(d.inner.Name()).Inc()
+	}
+	start := time.Now()
+	return func() {
+		if m != nil {
+			m.latency.With(d.inner.Name(), op).Observe(time.Since(start).Seconds())
+			m.inflight.With(d.inner.Name()).Dec()
+		}
+		d.statsMu.Lock()
+		d.inFlight--
+		d.statsMu.Unlock()
+	}
 }
 
 // Count implements Engine with an injected delay.
 func (d *Delayed) Count(query string) (int64, error) {
-	d.enter()
-	defer d.exit()
+	defer d.enter("count")()
 	f := d.model.CountFactor
 	if f == 0 {
 		f = 1
@@ -107,16 +139,14 @@ func (d *Delayed) Count(query string) (int64, error) {
 
 // Search implements Engine with an injected delay.
 func (d *Delayed) Search(query string, k int) ([]Result, error) {
-	d.enter()
-	defer d.exit()
+	defer d.enter("search")()
 	d.delay(1)
 	return d.inner.Search(query, k)
 }
 
 // Fetch implements Engine with an injected delay.
 func (d *Delayed) Fetch(url string) (string, error) {
-	d.enter()
-	defer d.exit()
+	defer d.enter("fetch")()
 	d.delay(1)
 	return d.inner.Fetch(url)
 }
@@ -127,7 +157,7 @@ func (d *Delayed) Fetch(url string) (string, error) {
 func (d *Delayed) Stats() (requests int64, maxInFlight int) {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
-	return d.requests, d.maxInFlight
+	return d.requests.Value(), d.maxInFlight
 }
 
 // ResetStats clears the concurrency statistics between experiment runs.
@@ -140,5 +170,5 @@ func (d *Delayed) ResetStats() {
 	d.statsMu.Lock()
 	defer d.statsMu.Unlock()
 	d.maxInFlight = d.inFlight
-	d.requests = 0
+	d.requests.Reset()
 }

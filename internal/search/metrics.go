@@ -1,0 +1,42 @@
+package search
+
+import (
+	"repro/internal/obs"
+)
+
+// engineMetrics bundles the registry families shared by every simulated
+// engine wrapper: one set of labeled metrics, with the engine name as a
+// label, replaces the per-wrapper ad-hoc counter structs the Delayed and
+// Flaky wrappers used to maintain independently. Wrappers hold the
+// handles behind an atomic pointer and skip recording until Observe has
+// attached them.
+type engineMetrics struct {
+	// requests counts engine requests by engine and operation
+	// (count/search/fetch).
+	requests *obs.CounterVec
+	// latency is the full request wall time — simulated delay, injected
+	// stall or slow tail, and the inner engine's work — by engine and op.
+	latency *obs.HistogramVec
+	// inflight is the instantaneous per-engine request concurrency, the
+	// live counterpart of the Delayed wrapper's max-in-flight high-water
+	// mark.
+	inflight *obs.GaugeVec
+	// faults counts injected faults by engine and fault kind.
+	faults *obs.CounterVec
+}
+
+// observeEngine binds (or re-binds, idempotently) the shared engine
+// metric families to reg.
+func observeEngine(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		requests: reg.CounterVec("wsq_engine_requests_total",
+			"Search-engine requests, by engine and operation.", "engine", "op"),
+		latency: reg.HistogramVec("wsq_engine_request_seconds",
+			"Search-engine request wall time (delay, faults, and engine work), by engine and operation.",
+			nil, "engine", "op"),
+		inflight: reg.GaugeVec("wsq_engine_inflight",
+			"Requests currently in flight, by engine.", "engine"),
+		faults: reg.CounterVec("wsq_engine_faults_total",
+			"Injected engine faults, by engine and fault kind.", "engine", "kind"),
+	}
+}

@@ -17,6 +17,12 @@
 //   - GET /statusz exposes the pump counters, per-destination in-flight
 //     gauges, cache hit rate, admission state, and per-query latency
 //     percentiles.
+//   - GET /metrics exposes the DB's metrics registry — pump slot-wait and
+//     per-destination call-latency histograms, engine request histograms,
+//     server admission counters — in the Prometheus text format.
+//   - GET /debug/pprof/* serves the standard Go profiling endpoints.
+//   - ?trace=1 (or "trace": true in the POST body) attaches the query's
+//     per-operator span tree to the response.
 //
 // The companion Client (client.go) is the programmatic face used by the
 // wsq shell's remote mode and wsqbench's -serve load generator.
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -37,6 +44,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -62,6 +70,9 @@ type Options struct {
 	// DefaultDegrade is the failed-call degradation policy applied when a
 	// request does not choose one (wsqd -degrade). DegradeFail by default.
 	DefaultDegrade exec.DegradePolicy
+	// RequestLog, when non-nil, receives one structured (JSON) line per
+	// /query request: SQL, outcome, latency, row and call counts.
+	RequestLog io.Writer
 }
 
 func (o *Options) fill() {
@@ -89,13 +100,20 @@ type Server struct {
 	mux  *http.ServeMux
 	sem  chan struct{}
 
-	mu       sync.Mutex
-	queued   int
-	active   int
-	total    int64
-	failed   int64
-	rejected int64
-	timedOut int64
+	// mu guards the admission gauges; the cumulative counters live in
+	// the DB's metrics registry (shared with /metrics) and /statusz reads
+	// them back from there.
+	mu     sync.Mutex
+	queued int
+	active int
+
+	total    *obs.Counter
+	failed   *obs.Counter
+	rejected *obs.Counter
+	timedOut *obs.Counter
+	latency  *obs.Histogram
+
+	logMu sync.Mutex // serializes RequestLog lines
 
 	lat   *latencyRing
 	start time.Time
@@ -113,12 +131,43 @@ func New(db *core.DB, opts Options) *Server {
 		lat:   newLatencyRing(opts.LatencyWindow),
 		start: time.Now(),
 	}
+	reg := db.Metrics()
+	s.total = reg.Counter("wsq_server_queries_total", "Queries received by /query.")
+	s.failed = reg.Counter("wsq_server_queries_failed_total", "Queries that returned an error.")
+	s.rejected = reg.Counter("wsq_server_queries_rejected_total", "Queries rejected by admission control (503).")
+	s.timedOut = reg.Counter("wsq_server_queries_timedout_total", "Queries whose deadline expired (while queued or executing).")
+	s.latency = reg.Histogram("wsq_server_query_seconds", "End-to-end query execution latency.", nil)
+	reg.GaugeFunc("wsq_server_queries_active", "Queries currently executing.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.active)
+	})
+	reg.GaugeFunc("wsq_server_queries_queued", "Queries waiting for an admission slot.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.queued)
+	})
+	reg.GaugeFunc("wsq_server_uptime_seconds", "Server uptime.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// handleMetrics serves the DB registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.db.Metrics().WritePrometheus(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -140,8 +189,8 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 		// Slow path: join the bounded wait queue.
 		s.mu.Lock()
 		if s.queued >= s.opts.MaxQueueDepth {
-			s.rejected++
 			s.mu.Unlock()
+			s.rejected.Inc()
 			return nil, errOverloaded
 		}
 		s.queued++
@@ -181,6 +230,9 @@ type QueryRequest struct {
 	// Degrade selects the failed-call policy for this query: "fail",
 	// "drop", or "partial" (empty = the server default).
 	Degrade string `json:"degrade,omitempty"`
+	// Trace attaches the query's per-operator span tree to the response
+	// (GET form: ?trace=1).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the /query success body. Row values are JSON-native:
@@ -194,6 +246,9 @@ type QueryResponse struct {
 	// query's drop/partial degradation policy.
 	DegradedCalls int64   `json:"degraded_calls,omitempty"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+	// Trace is the per-operator span tree, present when requested with
+	// trace=1.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the /query failure body.
@@ -228,19 +283,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	s.mu.Lock()
-	s.total++
-	s.mu.Unlock()
+	s.total.Inc()
 
 	release, err := s.admit(ctx)
 	if err != nil {
 		if errors.Is(err, errOverloaded) {
 			w.Header().Set("Retry-After", "1")
+			s.logRequest(req, http.StatusServiceUnavailable, 0, nil, err)
 			writeJSON(w, http.StatusServiceUnavailable,
 				ErrorResponse{Error: fmt.Sprintf("overloaded: %d executing, %d queued", s.opts.MaxConcurrentQueries, s.opts.MaxQueueDepth)})
 			return
 		}
-		s.countTimeout()
+		s.timedOut.Inc()
+		s.logRequest(req, http.StatusGatewayTimeout, 0, nil, err)
 		writeJSON(w, http.StatusGatewayTimeout,
 			ErrorResponse{Error: "deadline expired while queued for admission"})
 		return
@@ -249,7 +304,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var res *core.Result
-	opts := core.QueryOptions{Degrade: &degrade}
+	opts := core.QueryOptions{Degrade: &degrade, Trace: req.Trace}
 	if s.opts.AllowWrites {
 		res, err = s.db.ExecContextOpts(ctx, req.SQL, opts)
 	} else {
@@ -257,39 +312,91 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	s.lat.record(elapsed)
+	s.latency.Observe(elapsed.Seconds())
 
 	if err != nil {
-		s.mu.Lock()
-		s.failed++
-		s.mu.Unlock()
+		s.failed.Inc()
 		status := http.StatusBadRequest
 		switch {
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-			s.countTimeout()
+			s.timedOut.Inc()
 			status = http.StatusGatewayTimeout
 		case errors.Is(err, async.ErrPumpClosed):
 			status = http.StatusServiceUnavailable
 		case !s.opts.AllowWrites && isWriteRejection(err):
 			status = http.StatusForbidden
 		}
+		s.logRequest(req, status, elapsed, nil, err)
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		return
 	}
 
-	writeJSON(w, http.StatusOK, QueryResponse{
+	s.logRequest(req, http.StatusOK, elapsed, res, nil)
+	resp := QueryResponse{
 		Columns:       columnsOrEmpty(res.Columns),
 		Rows:          encodeRows(res.Rows),
 		RowCount:      len(res.Rows),
 		ExternalCalls: res.Stats.ExternalCalls,
 		DegradedCalls: res.Stats.DegradedCalls,
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1000.0,
-	})
+	}
+	if res.Trace != nil {
+		resp.Trace = res.Trace.JSON()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) countTimeout() {
-	s.mu.Lock()
-	s.timedOut++
-	s.mu.Unlock()
+// requestLogEntry is one structured request-log line.
+type requestLogEntry struct {
+	Time          string  `json:"t"`
+	SQL           string  `json:"sql"`
+	Status        int     `json:"status"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	Rows          int     `json:"rows"`
+	ExternalCalls int64   `json:"external_calls"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	Traced        bool    `json:"traced,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// logRequest emits one JSON line per /query request when a request log
+// is configured.
+func (s *Server) logRequest(req QueryRequest, status int, elapsed time.Duration, res *core.Result, err error) {
+	if s.opts.RequestLog == nil {
+		return
+	}
+	e := requestLogEntry{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		SQL:       truncateSQL(req.SQL),
+		Status:    status,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000.0,
+		Traced:    req.Trace,
+	}
+	if res != nil {
+		e.Rows = len(res.Rows)
+		e.ExternalCalls = res.Stats.ExternalCalls
+		e.Degraded = res.Stats.DegradedCalls > 0
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	line, merr := json.Marshal(e)
+	if merr != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	_, _ = s.opts.RequestLog.Write(append(line, '\n'))
+}
+
+// truncateSQL bounds logged statements so one giant query cannot bloat
+// the log.
+func truncateSQL(sql string) string {
+	const max = 500
+	if len(sql) <= max {
+		return sql
+	}
+	return sql[:max] + "..."
 }
 
 // isWriteRejection recognizes the read-only path's refusal of non-queries
@@ -307,6 +414,13 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 			if _, err := fmt.Sscanf(ms, "%d", &req.TimeoutMS); err != nil {
 				return req, fmt.Errorf("bad timeout_ms %q", ms)
 			}
+		}
+		switch v := r.URL.Query().Get("trace"); v {
+		case "", "0", "false":
+		case "1", "true":
+			req.Trace = true
+		default:
+			return req, fmt.Errorf("bad trace %q (use trace=1)", v)
 		}
 	case http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -429,15 +543,16 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		DestActive: s.db.Pump().DestActive(),
 	}
 	s.mu.Lock()
-	st.Queries = QueryStats{
-		Total:    s.total,
-		Active:   s.active,
-		Queued:   s.queued,
-		Failed:   s.failed,
-		Rejected: s.rejected,
-		TimedOut: s.timedOut,
-	}
+	active, queued := s.active, s.queued
 	s.mu.Unlock()
+	st.Queries = QueryStats{
+		Total:    s.total.Value(),
+		Active:   active,
+		Queued:   queued,
+		Failed:   s.failed.Value(),
+		Rejected: s.rejected.Value(),
+		TimedOut: s.timedOut.Value(),
+	}
 	st.Queries.LatencyMS = s.lat.percentiles()
 	if c := s.db.Cache(); c != nil {
 		hits, misses := c.Stats()
