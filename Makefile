@@ -17,9 +17,13 @@ vet:
 # on any diagnostic; see DESIGN.md "Static invariants". The second pass
 # holds internal/obs to an exemption-free standard: the metrics/trace
 # layer must never need a context-flow waiver (DESIGN.md "Observability").
+# The third holds internal/shard (tier coordinator + cache peering) to the
+# same bar for both context flow and goroutine ownership: every peer call
+# must carry a deadline and every tier goroutine a shutdown path.
 lint:
 	$(GO) run ./cmd/wsqlint ./...
 	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/obs/
+	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow,goroutinectx ./internal/shard/
 
 test:
 	$(GO) test ./...
@@ -33,6 +37,7 @@ check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/wsqlint ./...
 	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/obs/
+	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow,goroutinectx ./internal/shard/
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 10s ./internal/expr
@@ -52,9 +57,12 @@ table1:
 
 # Fast machine-readable benchmark smoke (the CI artifact): one Table-1
 # cell at millisecond latency, with sync/async p50/p95/p99 estimated from
-# the harness's obs histograms.
+# the harness's obs histograms — then the multi-node smoke: 2 workers + a
+# coordinator on loopback, asserting cross-node cache hits > 0, zero query
+# errors, and a clean mid-run drain (exits non-zero otherwise).
 bench-smoke:
 	$(GO) run ./cmd/wsqbench -template 1 -runs 1 -instances 4 -latency 2ms -json-out BENCH_smoke.json
+	$(GO) run ./cmd/wsqbench -tier 2 -clients 4 -duration 3s -latency 2ms -json-out BENCH_tier.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/search"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// benchTier is the -tier mode summary: the multi-node smoke's evidence
+// that the tier-wide cache and graceful drain actually work.
+type benchTier struct {
+	Workers        int     `json:"workers"`
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	Rejected       int64   `json:"rejected"`
+	QPS            float64 `json:"qps"`
+	CrossNodeHits  int64   `json:"cross_node_hits"`
+	PeerHits       int64   `json:"peer_hits"`
+	FillsReceived  int64   `json:"fills_received"`
+	DrainHandedOff int     `json:"drain_handed_off"`
+	DrainOK        bool    `json:"drain_ok"`
+}
+
+// tierNode is one in-process worker: its own database, engines, cache,
+// pump, peer client, and listener.
+type tierNode struct {
+	id     string
+	env    *harness.Env
+	peers  *shard.Peers
+	worker *shard.Worker
+	srv    *http.Server
+	url    string
+}
+
+// tierBench spins up `workers` wsqd workers plus a coordinator on
+// loopback, drives template-1 load through the coordinator (each query
+// in two route variants, so identical web expressions provably land on
+// different workers), drains one worker mid-run, and fails the process
+// if the tier dropped a query or never produced a cross-node cache hit.
+func tierBench(model search.LatencyModel, workers, clients int, duration time.Duration, cacheSize, maxTotal, maxDest int) {
+	if workers < 2 {
+		fatal(fmt.Errorf("-tier needs at least 2 workers"))
+	}
+	ctx := context.Background()
+
+	var nodes []*tierNode
+	var members []shard.Member
+	for i := 0; i < workers; i++ {
+		id := fmt.Sprintf("w%d", i+1)
+		env := newEnv(model, false, maxTotal, maxDest, cacheSize)
+		peers := shard.NewPeers(id, shard.Config{}, shard.PeerOptions{})
+		env.DB.Pump().SetCachePeer(peers)
+		inner := server.New(env.DB, server.Options{MaxConcurrentQueries: 4 * clients})
+		w := shard.NewWorker(shard.WorkerOptions{
+			ID: id, Inner: inner, Cache: env.DB.Cache(), Pump: env.DB.Pump(), Peers: peers,
+		})
+		peers.Observe(env.DB.Metrics())
+		w.Observe(env.DB.Metrics())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		hs := &http.Server{Handler: w}
+		go hs.Serve(ln)
+		url := "http://" + ln.Addr().String()
+		nodes = append(nodes, &tierNode{id: id, env: env, peers: peers, worker: w, srv: hs, url: url})
+		members = append(members, shard.Member{ID: id, URL: url})
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.srv.Close()
+			nd.peers.Close()
+			nd.env.Close()
+		}
+	}()
+
+	cfg := shard.Config{Workers: members, Budgets: map[string]int{"altavista": 16, "google": 16}}
+	coord := shard.NewCoordinator(cfg, shard.CoordinatorOptions{})
+	defer coord.Close()
+	if err := coord.Sync(ctx); err != nil {
+		fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	chs := &http.Server{Handler: coord.Handler()}
+	go chs.Serve(cln)
+	defer chs.Close()
+	coordURL := "http://" + cln.Addr().String()
+
+	fmt.Printf("tier: %d workers + coordinator on %s (latency %v+%v, cache %d)\n",
+		workers, coordURL, model.Base, model.Jitter, cacheSize)
+
+	queries := tierQueryPool(members, cfg.VNodes)
+	fmt.Printf("workload: %d template-1 route variants (identical web expressions on different workers), %d clients, %v\n",
+		len(queries), clients, duration)
+
+	// Drive through the coordinator; drain w1 a third of the way in.
+	cl := server.NewClient(coordURL)
+	drainAfter := duration / 3
+	drainDone := make(chan error, 1)
+	go func() {
+		t := time.NewTimer(drainAfter)
+		defer t.Stop()
+		<-t.C
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordURL+"/admin/drain?id=w1", nil)
+		if err != nil {
+			drainDone <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			drainDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			drainDone <- fmt.Errorf("drain returned status %d", resp.StatusCode)
+			return
+		}
+		var out struct {
+			HandedOff int `json:"handed_off"`
+		}
+		drainDone <- json.NewDecoder(resp.Body).Decode(&out)
+	}()
+
+	res := drive(cl, clients, duration, queries)
+	drainErr := <-drainDone
+
+	// Tally tier-wide evidence.
+	var tr benchTier
+	tr.Workers = workers
+	tr.Queries = res.ok + res.rejected + res.errors
+	tr.Errors = res.errors
+	tr.Rejected = res.rejected
+	tr.QPS = res.qps
+	tr.DrainOK = drainErr == nil
+	for _, nd := range nodes {
+		st := nd.worker.Stats()
+		tr.CrossNodeHits += st.RemoteHits
+		tr.FillsReceived += st.FillsRecv
+		tr.DrainHandedOff += int(st.HandedOff)
+		tr.PeerHits += nd.env.DB.Pump().Stats().PeerHits
+	}
+
+	fmt.Printf("\ntier results: %d ok, %d rejected, %d errors, %.1f q/s\n", res.ok, res.rejected, res.errors, res.qps)
+	fmt.Printf("tier cache: cross-node hits=%d, pump peer hits=%d, fills received=%d\n",
+		tr.CrossNodeHits, tr.PeerHits, tr.FillsReceived)
+	fmt.Printf("drain: ok=%v, hot keys handed off=%d\n", tr.DrainOK, tr.DrainHandedOff)
+
+	// /metrics must corroborate the counters (the operator's view).
+	metricsOK := false
+	for _, nd := range nodes {
+		if scrapeCounter(nd.url+"/metrics", "wsq_shard_remote_get_hits_total") > 0 {
+			metricsOK = true
+		}
+	}
+
+	writeReport(benchReport{
+		Mode:          "tier",
+		LatencyBaseMS: float64(model.Base.Microseconds()) / 1000.0,
+		Tier:          &tr,
+	})
+
+	failed := false
+	if res.errors > 0 {
+		fmt.Printf("FAIL: %d queries errored (the tier must never surface a 500)\n", res.errors)
+		failed = true
+	}
+	if tr.CrossNodeHits == 0 {
+		fmt.Println("FAIL: zero cross-node cache hits — the tier cache is not being shared")
+		failed = true
+	}
+	if !metricsOK {
+		fmt.Println("FAIL: wsq_shard_remote_get_hits_total not positive on any worker's /metrics")
+		failed = true
+	}
+	if drainErr != nil {
+		fmt.Printf("FAIL: drain: %v\n", drainErr)
+		failed = true
+	}
+	if res.ok == 0 {
+		fmt.Println("FAIL: no queries succeeded")
+		failed = true
+	}
+	if failed {
+		fatal(fmt.Errorf("tier smoke failed"))
+	}
+	fmt.Println("tier smoke passed: cross-node hits > 0, zero query errors, drain clean")
+}
+
+// tierQueryPool builds the multi-node workload: for every template-1
+// constant, the plain query plus a decoy-literal variant whose RouteKey
+// lands on a different worker. Both issue identical WebCount calls, so
+// running them exercises the cache peering path by construction.
+func tierQueryPool(members []shard.Member, vnodes int) []string {
+	ring := shard.NewRing(members, vnodes)
+	base := template1Pool()
+	var out []string
+	for _, q := range base {
+		out = append(out, q)
+		home, ok := ring.Owner(shard.RouteKey(q))
+		if !ok {
+			continue
+		}
+		for i := 0; i < 200; i++ {
+			alt := strings.Replace(q, " WHERE ", fmt.Sprintf(" WHERE Name <> 'no-such-state-%d' AND ", i), 1)
+			if m, _ := ring.Owner(shard.RouteKey(alt)); m.ID != home.ID {
+				out = append(out, alt)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// scrapeCounter fetches a Prometheus text exposition and returns the
+// value of the first sample whose name matches exactly (-1 if absent or
+// unreachable).
+func scrapeCounter(url, name string) float64 {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return -1
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+			return -1
+		}
+	}
+	return -1
+}

@@ -15,6 +15,14 @@
 //	     [-retries 4] [-retry-backoff 5ms] [-call-timeout 2s] [-hedge-after 0]
 //	     [-degrade fail|drop|partial] [-flaky 0.3] [-seed 1]
 //
+// Tier modes (internal/shard): with -shard-config and -shard-id the
+// daemon joins a sharded tier as a worker (peer cache protocol under
+// /shard/*, pump peering attached); with -shard-config and -coordinator
+// it runs the tier front door instead (no local database), routing
+// /query by consistent-hashed search expressions and serving
+// /admin/drain and /admin/reload. Both modes re-read the config on
+// SIGHUP.
+//
 // API:
 //
 //	POST /query   {"sql": "...", "timeout_ms": 500}  -> columns + rows
@@ -27,20 +35,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/async"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/websim"
 )
 
@@ -65,7 +78,21 @@ func main() {
 	flaky := flag.Float64("flaky", 0, "inject transient faults into in-process engines with this probability")
 	seed := flag.Int64("seed", 1, "seed for latency jitter and fault injection")
 	requestLog := flag.String("request-log", "", "write one JSON line per /query to this file ('-' = stderr)")
+	shardConfig := flag.String("shard-config", "", "tier membership JSON; enables worker or coordinator mode")
+	shardID := flag.String("shard-id", "", "this worker's id in the tier config (worker mode)")
+	coordinator := flag.Bool("coordinator", false, "run as the tier coordinator instead of a worker")
 	flag.Parse()
+
+	if *coordinator {
+		if *shardConfig == "" {
+			fatal(fmt.Errorf("-coordinator requires -shard-config"))
+		}
+		runCoordinator(*addr, *shardConfig)
+		return
+	}
+	if *shardConfig != "" && *shardID == "" {
+		fatal(fmt.Errorf("-shard-config requires -shard-id (or -coordinator)"))
+	}
 
 	degrade, err := exec.ParseDegrade(*degradeFlag)
 	if err != nil {
@@ -148,13 +175,101 @@ func main() {
 		DefaultDegrade:       degrade,
 		RequestLog:           logW,
 	})
+
+	var handler http.Handler = srv
+	if *shardConfig != "" {
+		cfg, err := shard.LoadConfig(*shardConfig)
+		if err != nil {
+			fatal(err)
+		}
+		if _, ok := cfg.Member(*shardID); !ok {
+			fatal(fmt.Errorf("shard id %q not in %s", *shardID, *shardConfig))
+		}
+		peers := shard.NewPeers(*shardID, cfg, shard.PeerOptions{})
+		defer peers.Close()
+		db.Pump().SetCachePeer(peers)
+		worker := shard.NewWorker(shard.WorkerOptions{
+			ID:    *shardID,
+			Inner: srv,
+			Cache: db.Cache(),
+			Pump:  db.Pump(),
+			Peers: peers,
+		})
+		peers.Observe(db.Metrics())
+		worker.Observe(db.Metrics())
+		handler = worker
+		reloadOnSIGHUP(func() {
+			cfg, err := shard.LoadConfig(*shardConfig)
+			if err != nil {
+				log.Printf("SIGHUP reload failed: %v", err)
+				return
+			}
+			peers.Update(cfg.Workers)
+			log.Printf("SIGHUP: reloaded %s (%d workers)", *shardConfig, len(cfg.Workers))
+		})
+		log.Printf("tier worker %q: peer cache protocol on /shard/*, membership from %s", *shardID, *shardConfig)
+	}
+
 	log.Printf("wsqd listening on http://%s (max-queries=%d queue-depth=%d cache=%d writes=%v)",
 		*addr, *maxQueries, *queueDepth, *cacheSize, *allowWrites)
 	log.Printf("observability: /metrics (Prometheus), /debug/pprof/, /query?...&trace=1 (span tree)")
 	log.Printf("try: curl 'http://%s/query?q=SELECT+Name,+Count+FROM+States,+WebCount+WHERE+Name+%%3D+T1+LIMIT+3'", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatal(err)
 	}
+}
+
+// runCoordinator serves the tier front door: consistent-hash routing of
+// /query across the configured workers, drain/reload admin endpoints,
+// and its own metrics registry.
+func runCoordinator(addr, configPath string) {
+	cfg, err := shard.LoadConfig(configPath)
+	if err != nil {
+		fatal(err)
+	}
+	coord := shard.NewCoordinator(cfg, shard.CoordinatorOptions{ConfigPath: configPath})
+	defer coord.Close()
+	reg := obs.NewRegistry()
+	coord.Observe(reg)
+
+	ctx := context.Background()
+	if err := coord.Sync(ctx); err != nil {
+		// Workers may come up after the coordinator; routing still works,
+		// and the next reload re-pushes membership and budgets.
+		log.Printf("initial tier sync incomplete (workers not all up?): %v", err)
+	}
+	reloadOnSIGHUP(func() {
+		if err := coord.Reload(ctx); err != nil {
+			log.Printf("SIGHUP reload failed: %v", err)
+			return
+		}
+		log.Printf("SIGHUP: reloaded %s (%d live workers)", configPath, len(coord.Live()))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", coord.Handler())
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(rw); err != nil {
+			log.Printf("metrics write: %v", err)
+		}
+	})
+	log.Printf("wsqd coordinator listening on http://%s (%d workers from %s)", addr, len(cfg.Workers), configPath)
+	log.Printf("admin: POST /admin/drain?id=W to drain a worker, POST /admin/reload (or SIGHUP) to re-read the config")
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fatal(err)
+	}
+}
+
+// reloadOnSIGHUP invokes fn on every SIGHUP for the life of the process.
+func reloadOnSIGHUP(fn func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGHUP)
+	go func() {
+		for range sigc {
+			fn()
+		}
+	}()
 }
 
 func fatal(err error) {

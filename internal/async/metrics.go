@@ -19,7 +19,10 @@ type pumpMetrics struct {
 	callLatency *obs.HistogramVec
 	// destInflight mirrors the per-destination in-flight counters.
 	destInflight *obs.GaugeVec
-	retries      *obs.CounterVec
+	// peerHits counts calls answered by a peer shard's cache instead of
+	// the engine, by destination (tier-wide cache peering).
+	peerHits *obs.CounterVec
+	retries  *obs.CounterVec
 	hedges       *obs.CounterVec
 	hedgeWins    *obs.CounterVec
 	timeouts     *obs.CounterVec
@@ -41,6 +44,8 @@ func (p *Pump) Observe(reg *obs.Registry) {
 			"Wall time of physical engine executions, by destination.", nil, "dest"),
 		destInflight: reg.GaugeVec("wsq_pump_dest_inflight",
 			"Engine calls currently executing, by destination.", "dest"),
+		peerHits: reg.CounterVec("wsq_pump_peer_hits_total",
+			"Calls served by a peer shard's cache instead of the engine, by destination.", "dest"),
 		retries: reg.CounterVec("wsq_pump_retries_total",
 			"Call re-executions after a transient failure, by destination.", "dest"),
 		hedges: reg.CounterVec("wsq_pump_hedges_total",

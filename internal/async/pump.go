@@ -77,6 +77,11 @@ type Pump struct {
 	// the Figure 7 hazard registers |R| identical calls back to back,
 	// before the first completes, so a cache alone never helps.
 	inflight map[string][]types.CallID
+	// peer, when attached, extends the result cache across a wsqd tier
+	// (internal/shard): a local miss consults the key's home shard before
+	// calling the engine, and locally executed results are offered back to
+	// the home shard. Read lock-free on the call path.
+	peer atomic.Pointer[cachePeerBox]
 
 	// policy governs retries, per-attempt deadlines, and hedging for every
 	// call execution (SetRetryPolicy). Stored normalized.
@@ -91,6 +96,7 @@ type Pump struct {
 	started      int64
 	completed    int64
 	cacheHits    int64
+	peerHits     int64
 	coalesced    int64
 	canceled     int64
 	retries      int64
@@ -146,6 +152,43 @@ func NewPump(maxTotal, maxPerDest int, cache exec.ResultCache) *Pump {
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
+}
+
+// CachePeer extends the per-process result cache across a tier of wsqd
+// workers (implemented by shard.Peers). The pump consults it between the
+// local cache and the engine: a call that misses locally first asks the
+// key's home shard, and an engine result executed here is offered back to
+// the home shard so one engine call can serve every node.
+type CachePeer interface {
+	// Fetch asks the key's home shard for cached rows. A false return
+	// means "not available" for any reason (self-owned key, remote miss,
+	// peer unreachable) — the caller falls through to the engine.
+	Fetch(ctx context.Context, key string) ([]types.Tuple, bool)
+	// Fill offers freshly computed rows to the key's home shard. It must
+	// not block: implementations enqueue and deliver asynchronously.
+	Fill(key string, rows []types.Tuple)
+}
+
+// cachePeerBox wraps the interface for atomic.Pointer storage.
+type cachePeerBox struct{ peer CachePeer }
+
+// SetCachePeer attaches (or, with nil, detaches) the tier-wide cache
+// peer. Peering only engages when the pump also has a local result cache:
+// without one there are no keys worth sharing and no coalescing.
+func (p *Pump) SetCachePeer(cp CachePeer) {
+	if cp == nil {
+		p.peer.Store(nil)
+		return
+	}
+	p.peer.Store(&cachePeerBox{peer: cp})
+}
+
+// cachePeer returns the attached peer, or nil.
+func (p *Pump) cachePeer() CachePeer {
+	if b := p.peer.Load(); b != nil {
+		return b.peer
+	}
+	return nil
 }
 
 // SetRetryPolicy installs the fault-tolerance policy for subsequent call
@@ -283,9 +326,20 @@ func (p *Pump) settleUnstartedLocked(c *pumpCall, err error) {
 // or hedged-out) calls keep counting against the destination until the
 // engine really lets go of them.
 func (p *Pump) run(c *pumpCall) {
-	rows, err := p.execute(c)
+	rows, err, fromPeer := p.fetchOrExecute(c)
+	if err == nil && !fromPeer {
+		// Locally executed result: offer it to the key's home shard so the
+		// rest of the tier can hit it. Fill never blocks (it enqueues), and
+		// it must run outside p.mu.
+		if peer := p.cachePeer(); peer != nil {
+			peer.Fill(c.key, rows)
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if fromPeer {
+		p.peerHits++
+	}
 	if err == nil && p.cache != nil {
 		p.cache.Put(c.key, rows)
 	}
@@ -313,6 +367,26 @@ func (p *Pump) run(c *pumpCall) {
 	}
 	p.completed++
 	p.cond.Broadcast()
+}
+
+// fetchOrExecute resolves one call: first via the tier cache peer (a
+// bounded network hop to the key's home shard), then — on any peer miss —
+// by executing the engine call under the retry policy. It is entered
+// holding one execution token; every path releases it or hands it off
+// (execute's accounting covers the engine path, and the peer-hit path
+// releases directly since no engine execution ever starts).
+func (p *Pump) fetchOrExecute(c *pumpCall) (rows []types.Tuple, err error, fromPeer bool) {
+	if peer := p.cachePeer(); peer != nil && p.cache != nil {
+		if rows, ok := peer.Fetch(c.ctx, c.key); ok {
+			p.releaseToken(c.dest)
+			if m := p.metrics.Load(); m != nil {
+				m.peerHits.With(c.dest).Inc()
+			}
+			return rows, nil, true
+		}
+	}
+	rows, err = p.execute(c)
+	return rows, err, false
 }
 
 // execute runs the retry loop for one call. It is entered holding one
@@ -387,8 +461,11 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 		//lint:ignore goroutinectx engine calls are uninterruptible; the slot token must be held until c.fn returns
 		go func() {
 			rows, err := p.timedCall(c)
-			p.releaseToken(c.dest)
+			// Send before releasing the token: anyone who observes the freed
+			// slot (the hedge branch below) is then guaranteed to also see
+			// the finished outcome on ch, so it never hedges a done call.
 			ch <- outcome{rows: rows, err: err, hedged: hedged}
+			p.releaseToken(c.dest)
 		}()
 	}
 	launch(false)
@@ -422,6 +499,23 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 			// must never park, or they would starve other destinations'
 			// queued calls.
 			if p.tryAcquireToken(c.dest) {
+				// The slot may be free because an execution just finished
+				// (it sends its outcome before releasing the token, so the
+				// acquire above makes that outcome visible here). Hedging a
+				// completed call would waste an engine call; take the result
+				// instead.
+				select {
+				case o := <-ch:
+					p.releaseToken(c.dest)
+					if o.hedged {
+						p.count(&p.hedgeWins)
+						if m := p.metrics.Load(); m != nil {
+							m.hedgeWins.With(c.dest).Inc()
+						}
+					}
+					return o.rows, o.err
+				default:
+				}
 				p.count(&p.hedges)
 				if m := p.metrics.Load(); m != nil {
 					m.hedges.With(c.dest).Inc()
@@ -717,6 +811,9 @@ type Stats struct {
 	Registered int64
 	// CacheHits counts registrations served instantly from the cache.
 	CacheHits int64
+	// PeerHits counts calls served by a peer shard's cache instead of the
+	// engine (tier-wide cache peering).
+	PeerHits int64
 	// Coalesced counts registrations piggybacked on an identical
 	// in-flight call.
 	Coalesced int64
@@ -749,6 +846,7 @@ func (p *Pump) Stats() Stats {
 	return Stats{
 		Registered:   p.registered,
 		CacheHits:    p.cacheHits,
+		PeerHits:     p.peerHits,
 		Coalesced:    p.coalesced,
 		Started:      p.started,
 		Completed:    p.completed,
@@ -790,6 +888,6 @@ func (p *Pump) DestActive() map[string]int {
 func (p *Pump) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.registered, p.cacheHits, p.coalesced, p.started, p.completed, p.canceled, p.maxActive = 0, 0, 0, 0, 0, 0, 0
+	p.registered, p.cacheHits, p.peerHits, p.coalesced, p.started, p.completed, p.canceled, p.maxActive = 0, 0, 0, 0, 0, 0, 0, 0
 	p.retries, p.hedges, p.hedgeWins, p.callTimeouts, p.callsFailed = 0, 0, 0, 0, 0
 }

@@ -9,17 +9,19 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
 // Cache is a fixed-capacity LRU map from call keys to result rows.
 type Cache struct {
-	mu     sync.Mutex
-	cap    int
-	items  map[string]*list.Element
-	lru    *list.List // of *entry; front = most recently used
-	hits   int64
-	misses int64
+	mu        sync.Mutex
+	cap       int
+	items     map[string]*list.Element
+	lru       *list.List // of *entry; front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type entry struct {
@@ -73,7 +75,52 @@ func (c *Cache) Put(key string, rows []types.Tuple) {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.items, back.Value.(*entry).key)
+		c.evictions++
 	}
+}
+
+// Delete removes key (the cache-peering invalidate operation). It reports
+// whether an entry existed.
+func (c *Cache) Delete(key string) bool {
+	if c == nil || c.cap <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.lru.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Entry is one cached key with its rows, as snapshotted by Entries.
+type Entry struct {
+	Key  string
+	Rows []types.Tuple
+}
+
+// Entries snapshots up to max entries in recency order (most recently
+// used first) — the "hot keys" a draining shard hands to their new homes.
+// max <= 0 snapshots everything.
+func (c *Cache) Entries(max int) []Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.lru.Len()
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Entry, 0, n)
+	for el := c.lru.Front(); el != nil && len(out) < n; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, Entry{Key: e.key, Rows: e.rows})
+	}
+	return out
 }
 
 // Len returns the number of cached entries.
@@ -96,6 +143,45 @@ func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// Evictions returns the number of entries dropped at capacity.
+func (c *Cache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Observe implements obs.Observable: it exposes the cache's counters on a
+// metrics registry so cache effectiveness is visible on /metrics and in
+// wsqbench reports. Counters are sampled at scrape time from the cache's
+// own fields; Reset (used between experiment runs) therefore reads as a
+// Prometheus counter reset, which scrapers handle natively.
+func (c *Cache) Observe(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("wsq_cache_hits_total",
+		"Result-cache lookups served from the cache.", func() float64 {
+			hits, _ := c.Stats()
+			return float64(hits)
+		})
+	reg.CounterFunc("wsq_cache_misses_total",
+		"Result-cache lookups that found nothing.", func() float64 {
+			_, misses := c.Stats()
+			return float64(misses)
+		})
+	reg.CounterFunc("wsq_cache_evictions_total",
+		"Result-cache entries dropped at capacity (LRU).", func() float64 {
+			return float64(c.Evictions())
+		})
+	reg.GaugeFunc("wsq_cache_entries",
+		"Result-cache entries currently held.", func() float64 {
+			return float64(c.Len())
+		})
+}
+
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
 	if c == nil {
@@ -105,5 +191,5 @@ func (c *Cache) Reset() {
 	defer c.mu.Unlock()
 	c.items = make(map[string]*list.Element)
 	c.lru = list.New()
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }

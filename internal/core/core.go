@@ -140,6 +140,7 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.pump.SetRetryPolicy(cfg.Retry)
 	db.pump.Observe(reg)
+	c.Observe(reg) // nil-safe: a disabled cache registers nothing
 	db.async.Store(cfg.Async)
 	db.planner = plan.New(cat, vt)
 	db.planner.Cache = rc

@@ -26,7 +26,7 @@ func newGoroutineCtx() *goroutineCtx { return &goroutineCtx{} }
 func (*goroutineCtx) Name() string { return "goroutinectx" }
 
 func (*goroutineCtx) Doc() string {
-	return "go func literals in internal/{async,server} must select on a cancellation signal or register with a WaitGroup"
+	return "go func literals in internal/{async,server,shard} must select on a cancellation signal or register with a WaitGroup"
 }
 
 // cancelChanRx matches channel identifiers that conventionally signal
@@ -37,7 +37,7 @@ var cancelChanRx = regexp.MustCompile(`(?i)^(done|stop|stopped|quit|exit|closed?
 var wgNameRx = regexp.MustCompile(`(?i)(^|\.)wg$|waitgroup$`)
 
 func (r *goroutineCtx) Check(pkg *Package) []Diagnostic {
-	if !pathMatch(pkg.Path, "internal/async", "internal/server") {
+	if !pathMatch(pkg.Path, "internal/async", "internal/server", "internal/shard") {
 		return nil
 	}
 	var diags []Diagnostic

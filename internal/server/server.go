@@ -494,10 +494,12 @@ type QueryStats struct {
 
 // PumpStats mirrors async.Stats plus the live gauges.
 type PumpStats struct {
-	Registered   int64 `json:"registered"`
-	Started      int64 `json:"started"`
-	Completed    int64 `json:"completed"`
-	CacheHits    int64 `json:"cache_hits"`
+	Registered int64 `json:"registered"`
+	Started    int64 `json:"started"`
+	Completed  int64 `json:"completed"`
+	CacheHits  int64 `json:"cache_hits"`
+	// PeerHits counts calls served by a peer shard's cache (tier mode).
+	PeerHits     int64 `json:"peer_hits"`
 	Coalesced    int64 `json:"coalesced"`
 	Canceled     int64 `json:"canceled"`
 	Retries      int64 `json:"retries"`
@@ -512,10 +514,11 @@ type PumpStats struct {
 
 // CacheStats summarizes the shared result cache.
 type CacheStats struct {
-	Entries int     `json:"entries"`
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -528,6 +531,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			Started:      ps.Started,
 			Completed:    ps.Completed,
 			CacheHits:    ps.CacheHits,
+			PeerHits:     ps.PeerHits,
 			Coalesced:    ps.Coalesced,
 			Canceled:     ps.Canceled,
 			Retries:      ps.Retries,
@@ -556,7 +560,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st.Queries.LatencyMS = s.lat.percentiles()
 	if c := s.db.Cache(); c != nil {
 		hits, misses := c.Stats()
-		cs := &CacheStats{Entries: c.Len(), Hits: hits, Misses: misses}
+		cs := &CacheStats{Entries: c.Len(), Hits: hits, Misses: misses, Evictions: c.Evictions()}
 		if hits+misses > 0 {
 			cs.HitRate = float64(hits) / float64(hits+misses)
 		}

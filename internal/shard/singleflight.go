@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// flightGroup collapses concurrent duplicate work: while one caller runs
+// fn for a key, later callers for the same key wait and share its result
+// instead of running fn again. It is the tier-level counterpart of the
+// pump's in-flight coalescing — the pump collapses duplicate engine
+// calls within a process, flightGroup collapses duplicate peer-cache
+// HTTP fetches.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader finishes
+	rows []types.Tuple
+	ok   bool
+	dups int64
+}
+
+// Do runs fn for key, unless an identical call is already in flight, in
+// which case it waits for that call and returns its result. shared
+// reports whether the result came from another caller's execution.
+func (g *flightGroup) Do(key string, fn func() ([]types.Tuple, bool)) (rows []types.Tuple, ok, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, inflight := g.m[key]; inflight {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.rows, c.ok, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.rows, c.ok = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.rows, c.ok, false
+}
