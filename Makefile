@@ -19,11 +19,14 @@ vet:
 # layer must never need a context-flow waiver (DESIGN.md "Observability").
 # The third holds internal/shard (tier coordinator + cache peering) to the
 # same bar for both context flow and goroutine ownership: every peer call
-# must carry a deadline and every tier goroutine a shutdown path.
+# must carry a deadline and every tier goroutine a shutdown path. The
+# fourth holds internal/exec (batch executor) exemption-free: operators
+# must never detach from the query's cancellation scope.
 lint:
 	$(GO) run ./cmd/wsqlint ./...
 	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/obs/
 	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow,goroutinectx ./internal/shard/
+	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/exec/
 
 test:
 	$(GO) test ./...
@@ -38,6 +41,7 @@ check:
 	$(GO) run ./cmd/wsqlint ./...
 	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/obs/
 	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow,goroutinectx ./internal/shard/
+	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/exec/
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 10s ./internal/expr
@@ -59,10 +63,13 @@ table1:
 # cell at millisecond latency, with sync/async p50/p95/p99 estimated from
 # the harness's obs histograms — then the multi-node smoke: 2 workers + a
 # coordinator on loopback, asserting cross-node cache hits > 0, zero query
-# errors, and a clean mid-run drain (exits non-zero otherwise).
+# errors, and a clean mid-run drain (exits non-zero otherwise) — then the
+# executor batch-size sweep (tuple-at-a-time vs 64 vs 256) charting the
+# batching win on a purely local join pipeline.
 bench-smoke:
 	$(GO) run ./cmd/wsqbench -template 1 -runs 1 -instances 4 -latency 2ms -json-out BENCH_smoke.json
 	$(GO) run ./cmd/wsqbench -tier 2 -clients 4 -duration 3s -latency 2ms -json-out BENCH_tier.json
+	$(GO) run ./cmd/wsqbench -sweep-exec 200000 -json-out BENCH_exec.json
 
 examples:
 	$(GO) run ./examples/quickstart

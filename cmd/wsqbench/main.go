@@ -46,6 +46,7 @@ func main() {
 	maxDest := flag.Int("max-per-dest", 0, "pump per-destination limit (0 = default)")
 	sweepConc := flag.Bool("sweep-concurrency", false, "ablation: sweep the per-destination limit")
 	sweepCache := flag.Bool("sweep-cache", false, "ablation: compare cache off/on")
+	sweepExecN := flag.Int("sweep-exec", 0, "ablation: sweep the executor batch size over an N-row local join (0 = off)")
 	serve := flag.Bool("serve", false, "serving-mode load test: N concurrent clients against one wsqd")
 	tier := flag.Int("tier", 0, "multi-node smoke: N in-process workers + a coordinator, cross-node cache + drain assertions")
 	clients := flag.Int("clients", 8, "-serve: number of concurrent clients")
@@ -75,6 +76,8 @@ func main() {
 		sweepConcurrency(model, *instances, *useHTTP)
 	case *sweepCache:
 		sweepCaching(model, *instances, *useHTTP)
+	case *sweepExecN > 0:
+		sweepExec(*sweepExecN)
 	default:
 		table1(model, *template, *runs, *instances, *useHTTP, *maxTotal, *maxDest)
 	}
@@ -278,6 +281,7 @@ type benchReport struct {
 	Pump          *benchPump                `json:"pump,omitempty"`
 	Serve         *benchServe               `json:"serve,omitempty"`
 	Tier          *benchTier                `json:"tier,omitempty"`
+	Exec          []benchExecCell           `json:"exec,omitempty"`
 }
 
 // writeReport marshals the report to -json-out (no-op when unset).

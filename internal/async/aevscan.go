@@ -89,6 +89,68 @@ func (s *AEVScan) Next(ctx *exec.Context) (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// BindBatch implements exec.BindingBatcher: it registers the external
+// calls for a whole batch of outer bindings in one round — when the pump
+// memoizes results, one Pump.RegisterCtx per *distinct* cache key in the
+// batch — so the pump sees the full request queue before the enclosing
+// ReqSync's first wait, instead of one call per dependent-join Next.
+// Duplicate keys within the batch then share one CallID (the ReqSync
+// patches every waiting tuple of a call when it settles, so sharing is
+// transparent). Without a cache, every frame registers its own call:
+// duplicate bindings re-issuing duplicate requests is the paper's
+// Figure 7 behavior, and batching must not silently change it. Either
+// way the per-binding accounting (Stats.ExternalCalls, the trace's calls
+// counter) counts one logical call per frame, matching the per-tuple
+// path.
+func (s *AEVScan) BindBatch(ctx *exec.Context, frames []map[schema.AttrID]types.Value) ([][]types.Tuple, bool, error) {
+	if len(frames) == 0 {
+		return nil, true, nil // capability probe
+	}
+	if s.Pump == nil {
+		return nil, false, fmt.Errorf("AEVScan %s: no request pump", s.Source.Name())
+	}
+	rows := make([][]types.Tuple, len(frames))
+	var byKey map[string]types.CallID
+	if s.Pump.HasCache() {
+		byKey = make(map[string]types.CallID, len(frames))
+	}
+	numEcho := s.Source.NumEcho()
+	for fi, frame := range frames {
+		ctx.Env.PushFrame(frame)
+		args, err := exec.EvalArgs(s.Source.Name(), s.Inputs, ctx)
+		ctx.Env.PopFrame()
+		if err != nil {
+			return nil, false, err
+		}
+		ctx.Stats.ExternalCalls++
+		s.nCalls++
+		key := s.Source.CacheKey(args)
+		id, seen := types.CallID(0), false
+		if byKey != nil {
+			id, seen = byKey[key]
+		}
+		if !seen {
+			src := s.Source
+			callArgs := args
+			id = s.Pump.RegisterCtx(ctx.Ctx, src.Destination(), key, func() ([]types.Tuple, error) {
+				return src.Call(callArgs)
+			})
+			if byKey != nil {
+				byKey[key] = id
+			}
+		}
+		t := make(types.Tuple, s.Out.Len())
+		for i := 0; i < numEcho && i < len(args); i++ {
+			t[i] = args[i]
+		}
+		for i := numEcho; i < s.Out.Len(); i++ {
+			t[i] = types.Placeholder(id, i-numEcho)
+		}
+		rows[fi] = []types.Tuple{t}
+	}
+	return rows, true, nil
+}
+
 // Close implements exec.Operator.
 func (s *AEVScan) Close() error { return nil }
 

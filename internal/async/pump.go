@@ -200,6 +200,13 @@ func (p *Pump) SetRetryPolicy(pol RetryPolicy) {
 	p.policy = pol.normalized()
 }
 
+// HasCache reports whether the pump memoizes results. Callers that can
+// batch registrations (AEVScan.BindBatch) use this to decide whether
+// duplicate keys may share one call: with a cache the pump coalesces
+// duplicates anyway, without one each registration is a real call — the
+// paper's Figure 7 redundant-call behavior, which must be preserved.
+func (p *Pump) HasCache() bool { return p.cache != nil }
+
 // RetryPolicy returns the installed policy (normalized).
 func (p *Pump) RetryPolicy() RetryPolicy {
 	p.mu.Lock()

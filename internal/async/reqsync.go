@@ -78,10 +78,13 @@ func (r *ReqSync) Open(ctx *exec.Context) error {
 	return r.drain(ctx)
 }
 
-// drain pulls the child to exhaustion, buffering incomplete tuples.
+// drain pulls the child to exhaustion, buffering incomplete tuples. The
+// pull is batch-at-a-time: a batch-binding dependent join below registers
+// every call of an outer batch with the pump per round, so the request
+// queue deepens by whole batches rather than single calls.
 func (r *ReqSync) drain(ctx *exec.Context) error {
 	for {
-		t, ok, err := r.Child.Next(ctx)
+		b, ok, err := exec.NextBatchFrom(ctx, r.Child, 0)
 		if err != nil {
 			return err
 		}
@@ -89,7 +92,9 @@ func (r *ReqSync) drain(ctx *exec.Context) error {
 			r.childDone = true
 			return nil
 		}
-		r.admit(t)
+		for _, t := range b {
+			r.admit(t)
+		}
 	}
 }
 
@@ -252,6 +257,57 @@ func (r *ReqSync) Next(ctx *exec.Context) (types.Tuple, bool, error) {
 		// block for the next completion. The execution context bounds the
 		// wait: a query deadline wakes the ReqSync with the ctx error, and
 		// Close then disowns the still-pending calls.
+		id, err := r.Pump.AwaitAnyCtx(ctx.Ctx, r.pendingIDs())
+		if err != nil {
+			return nil, false, err
+		}
+		res, ok := r.Pump.Take(id)
+		if !ok {
+			return nil, false, fmt.Errorf("ReqSync: call %d signaled done but result missing", id)
+		}
+		if err := r.settle(ctx, id, res); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// NextBatch implements exec.BatchOperator: completed tuples are released
+// in windows of the ready queue; in streaming mode whole child batches
+// are admitted before any pump wait, so even without full buffering the
+// pump's queue depth grows batch-at-a-time.
+func (r *ReqSync) NextBatch(ctx *exec.Context, max int) (exec.Batch, bool, error) {
+	if !r.opened {
+		return nil, false, fmt.Errorf("ReqSync: NextBatch before Open")
+	}
+	for {
+		if len(r.ready) > 0 {
+			n := len(r.ready)
+			if n > max {
+				n = max
+			}
+			b := exec.Batch(r.ready[:n:n])
+			r.ready = r.ready[n:]
+			return b, true, nil
+		}
+		if r.Streaming && !r.childDone {
+			cb, ok, err := exec.NextBatchFrom(ctx, r.Child, max)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				for _, t := range cb {
+					r.admit(t)
+				}
+				continue
+			}
+			r.childDone = true
+		}
+		if len(r.waiting) == 0 {
+			if !r.childDone {
+				continue
+			}
+			return nil, false, nil
+		}
 		id, err := r.Pump.AwaitAnyCtx(ctx.Ctx, r.pendingIDs())
 		if err != nil {
 			return nil, false, err

@@ -130,6 +130,22 @@ func percolate(root exec.Operator, rs *ReqSync) exec.Operator {
 			root = swapUp(root, parent, rs)
 			continue
 
+		case *exec.HashJoin:
+			if intersects(hashJoinRefs(p), rs.A) {
+				// A hash join whose keys (or residual) would interpret
+				// placeholder values is a clash. Fall back to the paper's
+				// join→σ(×) rewrite — the full predicate as a selection
+				// over a predicate-free nested loop — then continue: the
+				// ReqSync passes the cross-product and stops below the new
+				// selection, exactly as for a clashing NestedLoopJoin.
+				root = rewriteHashJoinAsSelection(root, p)
+				continue
+			}
+			// Non-clashing keys: placeholders merely ride through the
+			// build/probe tuples, to be settled above.
+			root = swapUp(root, parent, rs)
+			continue
+
 		case *exec.UnionAll:
 			// Bag union neither interprets values nor counts tuples — the
 			// explicitly non-clashing operator of Section 4.5.2's union
@@ -149,8 +165,10 @@ func percolate(root exec.Operator, rs *ReqSync) exec.Operator {
 			continue
 
 		default:
-			// Aggregate, Distinct, Limit (existential), and any unknown
-			// operator clash unconditionally (Section 4.5.2, case 3).
+			// Aggregate, Distinct, Limit (existential), HashSemiJoin (its
+			// output multiplicity is an existence decision), and any
+			// unknown operator clash unconditionally (Section 4.5.2,
+			// case 3).
 			return root
 		}
 	}
@@ -189,7 +207,9 @@ func hoistAbove(root exec.Operator, f *exec.Filter) (bool, exec.Operator) {
 		return false, root
 	}
 	switch p := parent.(type) {
-	case *exec.Filter, *exec.NestedLoopJoin, *exec.DependentJoin, *exec.Sort:
+	case *exec.Filter, *exec.NestedLoopJoin, *exec.DependentJoin, *exec.Sort, *exec.HashJoin:
+		// (Not HashSemiJoin: its output drops the build side's columns, so
+		// a filter under its right input cannot move above it.)
 		_ = p
 		return true, swapUp(root, parent, f)
 	default:
@@ -209,6 +229,38 @@ func rewriteJoinAsSelection(root exec.Operator, j *exec.NestedLoopJoin) exec.Ope
 	}
 	parent.SetChild(idx, sel)
 	return root
+}
+
+// rewriteHashJoinAsSelection replaces a clashing hash join with a Filter
+// over a predicate-free nested loop (a cross-product) carrying the hash
+// join's reconstructed predicate — the same join→σ(×) transformation,
+// with the hash algorithm abandoned because its build/probe keys would
+// interpret placeholder values.
+func rewriteHashJoinAsSelection(root exec.Operator, j *exec.HashJoin) exec.Operator {
+	parent, idx := findParent(root, j)
+	cross := exec.NewNestedLoopJoin(j.Left, j.Right, nil)
+	sel := exec.NewFilter(cross, j.FullPredicate())
+	if parent == nil {
+		return sel
+	}
+	parent.SetChild(idx, sel)
+	return root
+}
+
+// hashJoinRefs collects every attribute a hash join's keys and residual
+// reference.
+func hashJoinRefs(j *exec.HashJoin) map[schema.AttrID]bool {
+	set := make(map[schema.AttrID]bool)
+	for _, e := range j.LeftKeys {
+		e.CollectAttrs(set)
+	}
+	for _, e := range j.RightKeys {
+		e.CollectAttrs(set)
+	}
+	if j.Residual != nil {
+		j.Residual.CollectAttrs(set)
+	}
+	return set
 }
 
 // ---------------------------------------------------------------------------
@@ -319,6 +371,17 @@ func collectRefs(op exec.Operator, refs, produced map[schema.AttrID]bool) {
 	case *exec.NestedLoopJoin:
 		if o.Pred != nil {
 			o.Pred.CollectAttrs(refs)
+		}
+	case *exec.HashJoin:
+		for id := range hashJoinRefs(o) {
+			refs[id] = true
+		}
+	case *exec.HashSemiJoin:
+		for _, e := range o.LeftKeys {
+			e.CollectAttrs(refs)
+		}
+		for _, e := range o.RightKeys {
+			e.CollectAttrs(refs)
 		}
 	case *exec.Aggregate:
 		for _, g := range o.GroupBy {

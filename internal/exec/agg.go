@@ -105,8 +105,21 @@ func (a *Aggregate) Open(ctx *Context) error {
 	}
 	groups := make(map[string][]*aggState)
 	var order []string
+	var pending Batch
+	nextRow := func() (types.Tuple, bool, error) {
+		for len(pending) == 0 {
+			b, ok, err := NextBatchFrom(ctx, a.Child, 0)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			pending = b
+		}
+		t := pending[0]
+		pending = pending[1:]
+		return t, true, nil
+	}
 	for {
-		t, ok, err := a.Child.Next(ctx)
+		t, ok, err := nextRow()
 		if err != nil {
 			return err
 		}
@@ -239,6 +252,21 @@ func (a *Aggregate) Next(ctx *Context) (types.Tuple, bool, error) {
 	t := a.rows[a.pos]
 	a.pos++
 	return t, true, nil
+}
+
+// NextBatch implements BatchOperator by handing out windows of the group
+// rows materialized at Open.
+func (a *Aggregate) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if a.pos >= len(a.rows) {
+		return nil, false, nil
+	}
+	end := a.pos + max
+	if end > len(a.rows) {
+		end = len(a.rows)
+	}
+	b := Batch(a.rows[a.pos:end:end])
+	a.pos = end
+	return b, true, nil
 }
 
 // Close implements Operator.

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// Batch protocol: NextBatchFrom adapter, window semantics, max discipline.
+
+func seqValues(n int) (*ValuesScan, schema.Column) {
+	a := intCol("T", "A")
+	rows := make([]types.Tuple, n)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(int64(i))}
+	}
+	return NewValuesScan(schema.New(a), rows), a
+}
+
+// TestValuesScanBatchWindows: a batch-native leaf hands out windows of at
+// most max rows, in order, with ok=false exactly at exhaustion.
+func TestValuesScanBatchWindows(t *testing.T) {
+	v, _ := seqValues(5)
+	ctx := NewContext()
+	if err := v.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	var all []types.Tuple
+	for {
+		b, ok, err := v.NextBatch(ctx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(b) == 0 {
+			t.Fatal("ok=true with empty batch violates the protocol")
+		}
+		sizes = append(sizes, len(b))
+		all = append(all, b...)
+	}
+	if len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("batch sizes: %v, want [2 2 1]", sizes)
+	}
+	for i, tup := range all {
+		if got, _ := tup[0].AsInt(); got != int64(i) {
+			t.Fatalf("row %d: %v", i, tup)
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNextBatchFromAdapterWrapsScalarOperators: a scalar-only operator
+// (faultOp implements just Next) is batched by the adapter, honoring max
+// and the ctx default when max <= 0.
+func TestNextBatchFromAdapterWrapsScalarOperators(t *testing.T) {
+	v, _ := seqValues(10)
+	f := newFault(v) // scalar-only wrapper
+	ctx := NewContext()
+	ctx.BatchSize = 4
+	if err := f.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := NextBatchFrom(ctx, f, 3)
+	if err != nil || !ok || len(b) != 3 {
+		t.Fatalf("explicit max: len=%d ok=%v err=%v, want 3", len(b), ok, err)
+	}
+	b, ok, err = NextBatchFrom(ctx, f, 0)
+	if err != nil || !ok || len(b) != 4 {
+		t.Fatalf("ctx default max: len=%d ok=%v err=%v, want 4 (ctx.BatchSize)", len(b), ok, err)
+	}
+	b, ok, err = NextBatchFrom(ctx, f, 100)
+	if err != nil || !ok || len(b) != 3 {
+		t.Fatalf("tail: len=%d ok=%v err=%v, want remaining 3", len(b), ok, err)
+	}
+	if _, ok, err = NextBatchFrom(ctx, f, 100); ok || err != nil {
+		t.Fatalf("exhausted: ok=%v err=%v", ok, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitNeverOverdraws: Limit must cap the batch max it forwards, so a
+// child never produces more rows than the limit — under asynchronous
+// iteration an overdraw would register extra external calls.
+func TestLimitNeverOverdraws(t *testing.T) {
+	v, _ := seqValues(10)
+	f := newFault(v)
+	l := NewLimit(f, 3)
+	rows := runAll(t, l)
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d, want 3", len(rows))
+	}
+	if f.nexts > 3 {
+		t.Fatalf("Limit(3) pulled %d child rows — overdraw", f.nexts)
+	}
+}
+
+// TestFilterBatchesAreFreshSlices: Filter's survivor batches must not alias
+// the child's storage — a consumer buffering batch i must not see it
+// mutate when batch i+1 is produced.
+func TestFilterBatchesAreFreshSlices(t *testing.T) {
+	v, a := seqValues(8)
+	fl := NewFilter(v, keepPred(a))
+	ctx := NewContext()
+	ctx.BatchSize = 4
+	if err := fl.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b1, ok, err := fl.NextBatch(ctx, 4)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	snapshot := rowStrings(b1)
+	if _, _, err := fl.NextBatch(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1 {
+		if b1[i].String() != snapshot[i] {
+			t.Fatalf("batch 1 mutated after producing batch 2: %v vs %v", b1[i], snapshot[i])
+		}
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunBatchSizeEquivalence: results are identical across batch sizes —
+// batching is an execution granularity, never a semantics change.
+func TestRunBatchSizeEquivalence(t *testing.T) {
+	mk := func() Operator {
+		v, a := seqValues(50)
+		return NewSort(NewFilter(v, keepPred(a)),
+			[]SortKey{{Expr: expr.NewColRef(a), Desc: true}})
+	}
+	var base []string
+	for i, size := range []int{0, 1, 7, 256} {
+		ctx := NewContext()
+		ctx.BatchSize = size
+		rows, err := Run(ctx, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rowStrings(rows)
+		if i == 0 {
+			base = got
+			continue
+		}
+		if len(got) != len(base) {
+			t.Fatalf("batch size %d changed row count: %d vs %d", size, len(got), len(base))
+		}
+		for j := range got {
+			if got[j] != base[j] {
+				t.Fatalf("batch size %d changed row %d: %s vs %s", size, j, got[j], base[j])
+			}
+		}
+	}
+}
+
+// keepPred keeps rows with a > 2.
+func keepPred(a schema.Column) expr.Expr {
+	return expr.NewCmp(expr.GT, expr.NewColRef(a), expr.NewLiteral(types.Int(2)))
+}

@@ -1,0 +1,271 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// Operator lifecycle contract harness.
+//
+// Every exec operator must satisfy:
+//   1. Open → drain → Close runs cleanly and Close reports no error.
+//   2. Re-open after exhaustion yields the same rows (dependent joins
+//      re-open their right subtree once per outer binding, so this is a
+//      load-bearing property, not a nicety).
+//   3. Close is idempotent: closing an already-closed tree is a no-op.
+//   4. After an error at ANY point — a child failing in Open or at any Next
+//      position — closing the root must close every subtree (no leaked
+//      open leaves) and a second Close must still be safe.
+
+var errInjected = errors.New("injected fault")
+
+// faultOp wraps an operator with a configurable failure point and records
+// whether its subtree is currently open. It deliberately implements only
+// the scalar Operator protocol so the contract runs exercise the
+// NextBatchFrom adapter around non-batch operators too.
+type faultOp struct {
+	inner     Operator
+	failOpen  bool
+	failAfter int // fail on the (failAfter+1)-th Next; -1 = never
+	nexts     int
+	open      bool
+}
+
+func newFault(inner Operator) *faultOp { return &faultOp{inner: inner, failAfter: -1} }
+
+func (f *faultOp) Schema() *schema.Schema { return f.inner.Schema() }
+func (f *faultOp) Open(ctx *Context) error {
+	f.nexts = 0
+	if f.failOpen {
+		return errInjected
+	}
+	if err := f.inner.Open(ctx); err != nil {
+		return err
+	}
+	f.open = true
+	return nil
+}
+func (f *faultOp) Next(ctx *Context) (types.Tuple, bool, error) {
+	if f.failAfter >= 0 && f.nexts >= f.failAfter {
+		return nil, false, errInjected
+	}
+	f.nexts++
+	return f.inner.Next(ctx)
+}
+func (f *faultOp) Close() error {
+	f.open = false
+	return f.inner.Close()
+}
+func (f *faultOp) Children() []Operator  { return []Operator{f.inner} }
+func (f *faultOp) SetChild(i int, op Operator) {
+	if i != 0 {
+		panic("faultOp has a single child")
+	}
+	f.inner = op
+}
+func (f *faultOp) Name() string     { return "Fault" }
+func (f *faultOp) Describe() string { return "" }
+
+// contractCase builds a fresh operator tree plus the fault wrappers buried
+// in it. mk must return an independent tree on every call.
+type contractCase struct {
+	name string
+	mk   func() (Operator, []*faultOp)
+}
+
+func intRows(vals ...int64) []types.Tuple {
+	out := make([]types.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = types.Tuple{types.Int(v)}
+	}
+	return out
+}
+
+func contractCases() []contractCase {
+	pairSchema := func() (*schema.Schema, schema.Column, schema.Column) {
+		a, b := strCol("T", "K"), intCol("T", "N")
+		return schema.New(a, b), a, b
+	}
+	pairs := func(sc *schema.Schema) *ValuesScan {
+		return NewValuesScan(sc, []types.Tuple{
+			{types.Str("a"), types.Int(1)},
+			{types.Str("b"), types.Int(2)},
+			{types.Str("a"), types.Int(3)},
+			{types.Str("c"), types.Int(2)},
+		})
+	}
+	return []contractCase{
+		{"ValuesScan", func() (Operator, []*faultOp) {
+			sc, _, _ := pairSchema()
+			return pairs(sc), nil
+		}},
+		{"Filter", func() (Operator, []*faultOp) {
+			sc, _, n := pairSchema()
+			f := newFault(pairs(sc))
+			pred := expr.NewCmp(expr.GT, expr.NewColRef(n), expr.NewLiteral(types.Int(1)))
+			return NewFilter(f, pred), []*faultOp{f}
+		}},
+		{"Project", func() (Operator, []*faultOp) {
+			sc, _, n := pairSchema()
+			f := newFault(pairs(sc))
+			out := schema.New(intCol("P", "N2"))
+			return NewProject(f, []expr.Expr{expr.NewArith(expr.Add, expr.NewColRef(n), expr.NewLiteral(types.Int(10)))}, out), []*faultOp{f}
+		}},
+		{"Sort", func() (Operator, []*faultOp) {
+			sc, k, n := pairSchema()
+			f := newFault(pairs(sc))
+			return NewSort(f, []SortKey{{Expr: expr.NewColRef(n)}, {Expr: expr.NewColRef(k)}}), []*faultOp{f}
+		}},
+		{"Limit", func() (Operator, []*faultOp) {
+			sc, _, _ := pairSchema()
+			f := newFault(pairs(sc))
+			return NewLimit(f, 2), []*faultOp{f}
+		}},
+		{"Distinct", func() (Operator, []*faultOp) {
+			sc, k, _ := pairSchema()
+			f := newFault(pairs(sc))
+			out := schema.New(strCol("D", "K"))
+			return NewDistinct(NewProject(f, []expr.Expr{expr.NewColRef(k)}, out)), []*faultOp{f}
+		}},
+		{"Aggregate", func() (Operator, []*faultOp) {
+			sc, k, n := pairSchema()
+			f := newFault(pairs(sc))
+			return NewAggregate(f,
+				[]expr.Expr{expr.NewColRef(k)},
+				[]schema.Column{strCol("G", "K")},
+				[]AggSpec{{Func: AggSum, Arg: expr.NewColRef(n), OutCol: intCol("G", "S")}}), []*faultOp{f}
+		}},
+		{"UnionAll", func() (Operator, []*faultOp) {
+			la := intCol("L", "N")
+			lf := newFault(NewValuesScan(schema.New(la), intRows(1, 2)))
+			rf := newFault(NewValuesScan(schema.New(intCol("R", "N")), intRows(3)))
+			u, err := NewUnionAll(lf, rf)
+			if err != nil {
+				panic(err)
+			}
+			return u, []*faultOp{lf, rf}
+		}},
+		{"NestedLoopJoin", func() (Operator, []*faultOp) {
+			la, ra := intCol("L", "N"), intCol("R", "N")
+			lf := newFault(NewValuesScan(schema.New(la), intRows(1, 2, 3)))
+			rf := newFault(NewValuesScan(schema.New(ra), intRows(2, 3, 4)))
+			pred := expr.NewCmp(expr.LT, expr.NewColRef(la), expr.NewColRef(ra))
+			return NewNestedLoopJoin(lf, rf, pred), []*faultOp{lf, rf}
+		}},
+		{"HashJoin", func() (Operator, []*faultOp) {
+			la, ra := intCol("L", "N"), intCol("R", "N")
+			lf := newFault(NewValuesScan(schema.New(la), intRows(1, 2, 3)))
+			rf := newFault(NewValuesScan(schema.New(ra), intRows(2, 3, 3, 4)))
+			return NewHashJoin(lf, rf,
+				[]expr.Expr{expr.NewColRef(la)}, []expr.Expr{expr.NewColRef(ra)}, nil), []*faultOp{lf, rf}
+		}},
+		{"HashSemiJoin", func() (Operator, []*faultOp) {
+			la, ra := intCol("L", "N"), intCol("R", "N")
+			lf := newFault(NewValuesScan(schema.New(la), intRows(1, 2, 3)))
+			rf := newFault(NewValuesScan(schema.New(ra), intRows(2, 3, 3, 4)))
+			return NewHashSemiJoin(lf, rf,
+				[]expr.Expr{expr.NewColRef(la)}, []expr.Expr{expr.NewColRef(ra)}), []*faultOp{lf, rf}
+		}},
+		{"DependentJoin", func() (Operator, []*faultOp) {
+			term := strCol("L", "Term")
+			lf := newFault(NewValuesScan(schema.New(term), []types.Tuple{
+				{types.Str("ab")}, {types.Str("xyz")},
+			}))
+			src := &fakeSource{name: "WC", rowsFor: func(arg string) []types.Tuple {
+				return []types.Tuple{{types.Int(int64(len(arg)))}}
+			}}
+			ev := NewEVScan(src, []expr.Expr{expr.NewColRef(term)}, fakeSchema("V"))
+			return NewDependentJoin(lf, ev, "V"), []*faultOp{lf}
+		}},
+		{"EVScan", func() (Operator, []*faultOp) {
+			src := &fakeSource{name: "WC", rowsFor: func(arg string) []types.Tuple {
+				return []types.Tuple{{types.Int(int64(len(arg)))}}
+			}}
+			return NewEVScan(src, []expr.Expr{expr.NewLiteral(types.Str("abc"))}, fakeSchema("V")), nil
+		}},
+	}
+}
+
+func rowStrings(rows []types.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// TestOperatorContractCleanRuns checks properties 1–3: clean run, identical
+// re-open-after-exhaustion output, and idempotent Close.
+func TestOperatorContractCleanRuns(t *testing.T) {
+	for _, tc := range contractCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			op, leaves := tc.mk()
+			first := runAll(t, op)
+			if tc.name != "ValuesScan" && tc.name != "EVScan" && len(first) == 0 {
+				t.Fatalf("degenerate fixture: no rows")
+			}
+			for i, f := range leaves {
+				if f.open {
+					t.Errorf("leaf %d left open after Run", i)
+				}
+			}
+			// Re-open after exhaustion: same instance, same rows.
+			second := runAll(t, op)
+			if fmt.Sprint(rowStrings(first)) != fmt.Sprint(rowStrings(second)) {
+				t.Errorf("re-open changed output:\nfirst:  %v\nsecond: %v", first, second)
+			}
+			// Idempotent Close (Run already closed it once).
+			if err := op.Close(); err != nil {
+				t.Errorf("second Close errored: %v", err)
+			}
+			if err := op.Close(); err != nil {
+				t.Errorf("third Close errored: %v", err)
+			}
+		})
+	}
+}
+
+// TestOperatorContractCloseAfterError checks property 4: for every fault
+// leaf and every failure point (Open, first Next, second Next), Run's error
+// path must close the whole tree — no leaf stays open — and closing again
+// stays safe.
+func TestOperatorContractCloseAfterError(t *testing.T) {
+	for _, tc := range contractCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			_, probe := tc.mk()
+			for leaf := range probe {
+				for _, point := range []struct {
+					name      string
+					failOpen  bool
+					failAfter int
+				}{
+					{"open", true, -1},
+					{"next0", false, 0},
+					{"next1", false, 1},
+				} {
+					op, leaves := tc.mk()
+					leaves[leaf].failOpen = point.failOpen
+					leaves[leaf].failAfter = point.failAfter
+					_, err := Run(NewContext(), op)
+					if !errors.Is(err, errInjected) {
+						t.Fatalf("leaf %d %s: Run error = %v, want injected fault", leaf, point.name, err)
+					}
+					for i, f := range leaves {
+						if f.open {
+							t.Errorf("leaf %d %s: leaf %d left open after error path", leaf, point.name, i)
+						}
+					}
+					if err := op.Close(); err != nil {
+						t.Errorf("leaf %d %s: Close after error path errored: %v", leaf, point.name, err)
+					}
+				}
+			}
+		})
+	}
+}

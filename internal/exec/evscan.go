@@ -178,6 +178,26 @@ func (s *EVScan) Next(ctx *Context) (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchOperator by handing out windows of the call
+// result materialized at Open.
+func (s *EVScan) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	end := s.pos + max
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	for _, t := range s.rows[s.pos:end] {
+		if len(t) != s.Out.Len() {
+			return nil, false, fmt.Errorf("%s: result width %d != schema width %d", s.Source.Name(), len(t), s.Out.Len())
+		}
+	}
+	b := Batch(s.rows[s.pos:end:end])
+	s.pos = end
+	return b, true, nil
+}
+
 // Close implements Operator.
 func (s *EVScan) Close() error {
 	s.rows = nil

@@ -49,6 +49,33 @@ func (f *Filter) Next(ctx *Context) (types.Tuple, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: the predicate runs over whole child
+// batches, with survivors collected into a fresh slice (child batches may
+// be views of the child's internal storage and are never mutated in
+// place). Empty survivor sets loop to the next child batch so a true
+// result is always non-empty.
+func (f *Filter) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	for {
+		in, ok, err := NextBatchFrom(ctx, f.Child, max)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		var out Batch
+		for _, t := range in {
+			v, err := f.Pred.Eval(ctx.Env, t)
+			if err != nil {
+				return nil, false, fmt.Errorf("Filter %s: %w", f.Pred, err)
+			}
+			if v.Truthy() {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (f *Filter) Close() error { return f.Child.Close() }
 
@@ -108,6 +135,28 @@ func (p *Project) Next(ctx *Context) (types.Tuple, bool, error) {
 			return nil, false, fmt.Errorf("Project %s: %w", e, err)
 		}
 		out[i] = v
+	}
+	return out, true, nil
+}
+
+// NextBatch implements BatchOperator by mapping the projection over a
+// whole child batch.
+func (p *Project) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	in, ok, err := NextBatchFrom(ctx, p.Child, max)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Batch, len(in))
+	for j, t := range in {
+		row := make(types.Tuple, len(p.Exprs))
+		for i, e := range p.Exprs {
+			v, err := e.Eval(ctx.Env, t)
+			if err != nil {
+				return nil, false, fmt.Errorf("Project %s: %w", e, err)
+			}
+			row[i] = v
+		}
+		out[j] = row
 	}
 	return out, true, nil
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/expr"
@@ -95,18 +96,16 @@ func (j *NestedLoopJoin) Next(ctx *Context) (types.Tuple, bool, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator. Both subtrees are always closed (the right
+// may be mid-iteration when an error unwinds through us) and neither
+// close error masks the other.
 func (j *NestedLoopJoin) Close() error {
 	if !j.opened {
 		return nil
 	}
 	j.opened = false
-	errL := j.Left.Close()
-	errR := j.Right.Close()
-	if errL != nil {
-		return errL
-	}
-	return errR
+	j.curLeft = nil
+	return errors.Join(j.Left.Close(), j.Right.Close())
 }
 
 // Children implements Operator.
@@ -246,19 +245,106 @@ func (j *DependentJoin) Next(ctx *Context) (types.Tuple, bool, error) {
 	}
 }
 
-// Close implements Operator.
+// NextBatch implements BatchOperator. When the right subtree can service
+// a whole batch of correlated bindings at once (BindingBatcher — the
+// AEVScan batch-registration path), a full outer batch is pulled and
+// bound in one round, so every external call of the batch reaches the
+// request pump before the enclosing ReqSync first waits. Otherwise the
+// per-tuple protocol is looped, capped at max so nothing below is
+// over-drawn.
+func (j *DependentJoin) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if !j.opened {
+		return nil, false, fmt.Errorf("DependentJoin: NextBatch before Open")
+	}
+	// The fast path requires a clean state: if a previous per-tuple Next
+	// left the right subtree mid-iteration, finish that outer tuple via the
+	// fallback below.
+	if j.curLeft == nil {
+		if bb, ok := j.Right.(BindingBatcher); ok {
+			_, supports, err := bb.BindBatch(ctx, nil) // side-effect-free capability probe
+			if err != nil {
+				return nil, false, err
+			}
+			if supports {
+				return j.nextBatchBound(ctx, bb, max)
+			}
+		}
+	}
+	var out Batch
+	for len(out) < max {
+		t, ok, err := j.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// nextBatchBound services outer batches through the right subtree's
+// BindBatch, preserving the per-tuple output order (all of outer tuple
+// i's rows before any of outer tuple i+1's).
+func (j *DependentJoin) nextBatchBound(ctx *Context, bb BindingBatcher, max int) (Batch, bool, error) {
+	for {
+		if j.leftDone {
+			return nil, false, nil
+		}
+		lb, ok, err := NextBatchFrom(ctx, j.Left, max)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.leftDone = true
+			return nil, false, nil
+		}
+		frames := make([]map[schema.AttrID]types.Value, len(lb))
+		for fi, lt := range lb {
+			frame := make(map[schema.AttrID]types.Value, j.Left.Schema().Len())
+			for i, col := range j.Left.Schema().Cols {
+				if i < len(lt) {
+					frame[col.ID] = lt[i]
+				}
+			}
+			frames[fi] = frame
+		}
+		rows, handled, err := bb.BindBatch(ctx, frames)
+		if err != nil {
+			return nil, false, err
+		}
+		if !handled {
+			return nil, false, fmt.Errorf("DependentJoin: right child revoked batch binding mid-stream")
+		}
+		var out Batch
+		for fi, rs := range rows {
+			for _, rt := range rs {
+				out = append(out, lb[fi].Concat(rt))
+			}
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
+		// Every binding of this outer batch produced zero rows; pull the
+		// next outer batch.
+	}
+}
+
+// Close implements Operator. Both subtrees are always closed (the right
+// may be mid-iteration when an error unwinds through us) and neither
+// close error masks the other.
 func (j *DependentJoin) Close() error {
 	if !j.opened {
 		return nil
 	}
 	j.opened = false
 	j.popFrame(j.ctx) // balance the frame when closed mid-iteration
-	errL := j.Left.Close()
-	errR := j.Right.Close()
-	if errL != nil {
-		return errL
-	}
-	return errR
+	j.curLeft = nil
+	return errors.Join(j.Left.Close(), j.Right.Close())
 }
 
 // Children implements Operator.

@@ -13,6 +13,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -85,14 +86,24 @@ type Context struct {
 	// the decorators do — but consumers reached through the context (the
 	// server, EXPLAIN ANALYZE) read the finished tree from here.
 	Trace *obs.Span
-	Stats Stats
+	// BatchSize overrides the executor's batch granularity; zero means
+	// DefaultBatchSize. wsqbench sweeps it to chart the batching win.
+	BatchSize int
+	Stats     Stats
 }
 
-// NewContext returns a fresh execution context with no deadline.
-//
-//lint:ignore ctxflow deliberate unbounded constructor for tests and the REPL; servers use NewContextWith
+// batchSize resolves the effective batch granularity.
+func (c *Context) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// NewContext returns a fresh execution context with no deadline (for
+// tests and the REPL; servers use NewContextWith).
 func NewContext() *Context {
-	return NewContextWith(context.Background())
+	return NewContextWith(nil)
 }
 
 // NewContextWith returns a fresh execution context bounded by ctx.
@@ -135,31 +146,32 @@ type Operator interface {
 	Describe() string
 }
 
-// Run drains op to completion, returning all produced tuples. It opens and
-// closes the operator.
+// Run drains op to completion, returning all produced tuples. It opens
+// and closes the operator, pulling batch-at-a-time so a batch-native
+// pipeline never drops to per-tuple dispatch at the root. On every error
+// path the operator is still closed and any Close error is joined onto
+// the primary one — a failed Next must not mask (or be masked by) a
+// resource-release failure.
 func Run(ctx *Context, op Operator) ([]types.Tuple, error) {
 	if err := op.Open(ctx); err != nil {
-		op.Close()
-		return nil, err
+		return nil, errors.Join(err, op.Close())
 	}
 	var out []types.Tuple
 	for {
 		if ctx.Ctx != nil {
 			if err := ctx.Ctx.Err(); err != nil {
-				op.Close()
-				return nil, err
+				return nil, errors.Join(err, op.Close())
 			}
 		}
-		t, ok, err := op.Next(ctx)
+		b, ok, err := NextBatchFrom(ctx, op, ctx.batchSize())
 		if err != nil {
-			op.Close()
-			return nil, err
+			return nil, errors.Join(err, op.Close())
 		}
 		if !ok {
 			break
 		}
-		ctx.Stats.TuplesOut++
-		out = append(out, t)
+		ctx.Stats.TuplesOut += int64(len(b))
+		out = append(out, b...)
 	}
 	if err := op.Close(); err != nil {
 		return nil, err

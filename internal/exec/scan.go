@@ -59,6 +59,37 @@ func (s *TableScan) Next(ctx *Context) (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchOperator: one storage-scanner loop per batch
+// instead of one protocol call per stored tuple.
+func (s *TableScan) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if s.sc == nil {
+		return nil, false, fmt.Errorf("TableScan(%s): NextBatch before Open", s.Table.Def.Name)
+	}
+	var out Batch
+	for len(out) < max {
+		_, raw, ok, err := s.sc.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		t, err := types.DecodeTuple(raw)
+		if err != nil {
+			return nil, false, fmt.Errorf("TableScan(%s): %w", s.Table.Def.Name, err)
+		}
+		if len(t) != s.Out.Len() {
+			return nil, false, fmt.Errorf("TableScan(%s): stored tuple width %d != schema width %d",
+				s.Table.Def.Name, len(t), s.Out.Len())
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
 // Close implements Operator.
 func (s *TableScan) Close() error {
 	if s.sc == nil {
@@ -116,6 +147,21 @@ func (v *ValuesScan) Next(ctx *Context) (types.Tuple, bool, error) {
 	t := v.Rows[v.pos]
 	v.pos++
 	return t, true, nil
+}
+
+// NextBatch implements BatchOperator by handing out windows of the row
+// list; callers must not mutate the returned slice (see Batch).
+func (v *ValuesScan) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	end := v.pos + max
+	if end > len(v.Rows) {
+		end = len(v.Rows)
+	}
+	b := Batch(v.Rows[v.pos:end:end])
+	v.pos = end
+	return b, true, nil
 }
 
 // Close implements Operator.

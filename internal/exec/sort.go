@@ -56,22 +56,24 @@ func (s *Sort) Open(ctx *Context) error {
 	}
 	var buf []keyed
 	for {
-		t, ok, err := s.Child.Next(ctx)
+		b, ok, err := NextBatchFrom(ctx, s.Child, 0)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		ks := make([]types.Value, len(s.Keys))
-		for i, k := range s.Keys {
-			v, err := k.Expr.Eval(ctx.Env, t)
-			if err != nil {
-				return fmt.Errorf("Sort key %s: %w", k.Expr, err)
+		for _, t := range b {
+			ks := make([]types.Value, len(s.Keys))
+			for i, k := range s.Keys {
+				v, err := k.Expr.Eval(ctx.Env, t)
+				if err != nil {
+					return fmt.Errorf("Sort key %s: %w", k.Expr, err)
+				}
+				ks[i] = v
 			}
-			ks[i] = v
+			buf = append(buf, keyed{row: t, keys: ks})
 		}
-		buf = append(buf, keyed{row: t, keys: ks})
 	}
 	sort.SliceStable(buf, func(i, j int) bool {
 		for k := range s.Keys {
@@ -100,6 +102,21 @@ func (s *Sort) Next(ctx *Context) (types.Tuple, bool, error) {
 	t := s.rows[s.pos]
 	s.pos++
 	return t, true, nil
+}
+
+// NextBatch implements BatchOperator by handing out windows of the sorted
+// run materialized at Open.
+func (s *Sort) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	end := s.pos + max
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b := Batch(s.rows[s.pos:end:end])
+	s.pos = end
+	return b, true, nil
 }
 
 // Close implements Operator.
@@ -180,6 +197,29 @@ func (l *Limit) Next(ctx *Context) (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchOperator. The pull from the child is capped
+// at the remaining quota, not at max: a limit must never over-draw its
+// child, because below an EVScan every extra tuple is an extra external
+// call.
+func (l *Limit) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	rem := l.N - l.seen
+	if rem <= 0 {
+		return nil, false, nil
+	}
+	if max > rem {
+		max = rem
+	}
+	b, ok, err := NextBatchFrom(ctx, l.Child, max)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if len(b) > rem {
+		b = b[:rem]
+	}
+	l.seen += len(b)
+	return b, true, nil
+}
+
 // Close implements Operator.
 func (l *Limit) Close() error { return l.Child.Close() }
 
@@ -233,6 +273,30 @@ func (d *Distinct) Next(ctx *Context) (types.Tuple, bool, error) {
 		}
 		d.seen[k] = true
 		return t, true, nil
+	}
+}
+
+// NextBatch implements BatchOperator: duplicate elimination over whole
+// child batches, survivors in a fresh slice, looping until at least one
+// new tuple appears or the child is exhausted.
+func (d *Distinct) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	for {
+		in, ok, err := NextBatchFrom(ctx, d.Child, max)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		var out Batch
+		for _, t := range in {
+			k := t.Key()
+			if d.seen[k] {
+				continue
+			}
+			d.seen[k] = true
+			out = append(out, t)
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
 	}
 }
 

@@ -55,6 +55,9 @@ func instrument(op Operator) *spanOp {
 type spanOp struct {
 	inner Operator
 	span  *obs.Span
+	// nBatches counts NextBatch/BindBatch rounds so EXPLAIN ANALYZE can
+	// report per-operator batch granularity (rows/batch = Rows/batches).
+	nBatches int64
 }
 
 func (w *spanOp) Schema() *schema.Schema { return w.inner.Schema() }
@@ -80,6 +83,49 @@ func (w *spanOp) Next(ctx *Context) (t types.Tuple, ok bool, err error) {
 	return t, ok, err
 }
 
+// NextBatch implements BatchOperator: the whole batch pull (native or
+// adapted) is timed as one protocol call, which is exactly the
+// per-operator overhead the batching refactor removes.
+func (w *spanOp) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	start := time.Now()
+	b, ok, err := NextBatchFrom(ctx, w.inner, max)
+	w.span.Dur += time.Since(start)
+	if ok {
+		w.span.Rows += int64(len(b))
+		w.nBatches++
+	}
+	return b, ok, err
+}
+
+// BindBatch forwards batch binding to the decorated operator when it
+// supports it. Each bound frame counts as one logical Open — a dependent
+// join driving the per-tuple path would have re-opened the inner subtree
+// once per outer binding, and the trace must report the same logical
+// work either way.
+func (w *spanOp) BindBatch(ctx *Context, frames []map[schema.AttrID]types.Value) ([][]types.Tuple, bool, error) {
+	bb, isBB := w.inner.(BindingBatcher)
+	if !isBB {
+		return nil, false, nil
+	}
+	if len(frames) == 0 {
+		return bb.BindBatch(ctx, frames) // capability probe: no timing, no counters
+	}
+	start := time.Now()
+	if w.span.Opens == 0 {
+		w.span.Start = start
+	}
+	rows, ok, err := bb.BindBatch(ctx, frames)
+	w.span.Dur += time.Since(start)
+	if ok {
+		w.span.Opens += int64(len(frames))
+		for _, rs := range rows {
+			w.span.Rows += int64(len(rs))
+		}
+		w.nBatches++
+	}
+	return rows, ok, err
+}
+
 func (w *spanOp) Close() error {
 	start := time.Now()
 	err := w.inner.Close()
@@ -92,6 +138,9 @@ func (w *spanOp) Close() error {
 		for k, v := range ex.SpanExtras() {
 			w.span.SetExtra(k, v)
 		}
+	}
+	if w.nBatches > 0 {
+		w.span.SetExtra("batches", w.nBatches)
 	}
 	return err
 }

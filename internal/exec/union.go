@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/schema"
@@ -47,7 +48,9 @@ func (u *UnionAll) Open(ctx *Context) error {
 		return err
 	}
 	if err := u.Right.Open(ctx); err != nil {
-		return err
+		// Close is gated on opened, so the half-open left subtree must be
+		// released here or it leaks.
+		return errors.Join(err, u.Left.Close())
 	}
 	u.onRight = false
 	u.opened = true
@@ -72,18 +75,33 @@ func (u *UnionAll) Next(ctx *Context) (types.Tuple, bool, error) {
 	return u.Right.Next(ctx)
 }
 
+// NextBatch implements BatchOperator: left batches until exhausted, then
+// right batches. Batches never mix inputs (attribute identities are the
+// left's either way; keeping the boundary just simplifies reasoning).
+func (u *UnionAll) NextBatch(ctx *Context, max int) (Batch, bool, error) {
+	if !u.opened {
+		return nil, false, fmt.Errorf("UnionAll: NextBatch before Open")
+	}
+	if !u.onRight {
+		b, ok, err := NextBatchFrom(ctx, u.Left, max)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return b, true, nil
+		}
+		u.onRight = true
+	}
+	return NextBatchFrom(ctx, u.Right, max)
+}
+
 // Close implements Operator.
 func (u *UnionAll) Close() error {
 	if !u.opened {
 		return nil
 	}
 	u.opened = false
-	errL := u.Left.Close()
-	errR := u.Right.Close()
-	if errL != nil {
-		return errL
-	}
-	return errR
+	return errors.Join(u.Left.Close(), u.Right.Close())
 }
 
 // Children implements Operator.

@@ -35,7 +35,7 @@ type ctxFlow struct {
 
 func newCtxFlow() *ctxFlow {
 	return &ctxFlow{
-		scopes: []string{"internal/async", "internal/search", "internal/server", "internal/core", "internal/obs", "internal/shard"},
+		scopes: []string{"internal/async", "internal/search", "internal/server", "internal/core", "internal/obs", "internal/shard", "internal/exec"},
 		pumpMethods: map[string]bool{
 			"RegisterCtx": true, "AwaitAnyCtx": true, "AwaitAny": true, "CallWithRetry": true,
 		},

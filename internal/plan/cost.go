@@ -156,6 +156,29 @@ func estimateNode(op exec.Operator, m CostModel) nodeEstimate {
 		return in
 	case *async.ReqSync:
 		return estimateNode(o.Child, m)
+	case *exec.HashJoin:
+		l := estimateNode(o.Left, m)
+		r := estimateNode(o.Right, m)
+		// Same cardinality model as a predicated nested loop: the operator
+		// swap changes cost, not output.
+		return nodeEstimate{
+			card:  l.card * r.card * m.EqSelectivity,
+			calls: l.calls + r.calls,
+			secs:  l.secs + r.secs,
+		}
+	case *exec.HashSemiJoin:
+		l := estimateNode(o.Left, m)
+		r := estimateNode(o.Right, m)
+		// Each probe tuple survives at most once.
+		card := l.card * m.EqSelectivity
+		if card > l.card {
+			card = l.card
+		}
+		return nodeEstimate{
+			card:  card,
+			calls: l.calls + r.calls,
+			secs:  l.secs + r.secs,
+		}
 	case *exec.NestedLoopJoin:
 		l := estimateNode(o.Left, m)
 		r := estimateNode(o.Right, m)

@@ -1,8 +1,14 @@
 // Package plan lowers parsed SQL into executable operator trees.
 //
 // The planner follows the Redbase substrate's conventions (Section 5 of
-// the WSQ/DSQ paper): the FROM-clause order fixes the join order, the only
-// join algorithm is nested loops, and there is no cost-based optimization.
+// the WSQ/DSQ paper): the FROM-clause order fixes the join order and
+// there is no cost-based plan search. One deliberate departure from the
+// paper's substrate ("the only available join technique is nested-loop
+// join"): when a stored-stored join predicate contains cross-input
+// equality conjuncts and the build side has more than one row, the
+// planner emits a HashJoin (and, under DISTINCT projections that need
+// nothing from the build side, a HashSemiJoin) — output order and
+// results are identical to the nested-loop plan by construction.
 // Its one sophisticated job is virtual-table binding analysis (Section 3):
 // for each WebCount/WebPages/WebFetch reference it identifies the equality
 // predicates that bind the table's input columns — to constants or to
@@ -173,9 +179,12 @@ func (p *Planner) PlanSelect(sel *sqlparse.Select) (exec.Operator, error) {
 		cur = exec.NewProject(cur, exprs, outSchema)
 	}
 
-	// DISTINCT.
+	// DISTINCT. An existence-only hash join underneath degrades to a
+	// semi-join.
 	if sel.Distinct {
-		cur = exec.NewDistinct(cur)
+		d := exec.NewDistinct(cur)
+		trySemiJoin(d)
+		cur = d
 	}
 
 	// ORDER BY (resolved against the projection's output, so aliases work).
@@ -294,7 +303,79 @@ func (p *Planner) addFromEntry(cur exec.Operator, sc *scope, idx int, scopes []*
 			c.consumed = true
 		}
 	}
+	// Equi conjuncts across the two inputs make the join hashable; the
+	// exact row count (WSQ's stored relations are small reference tables)
+	// gates out degenerate build sides where a hash table cannot beat
+	// re-scanning.
+	if lk, rk, residual := splitEquiKeys(preds, avail, sc.schema); len(lk) > 0 && hashBuildWorthwhile(sc.table) {
+		return exec.NewHashJoin(cur, scan, lk, rk, residual), nil
+	}
 	return exec.NewNestedLoopJoin(cur, scan, expr.NewAnd(preds...)), nil
+}
+
+// splitEquiKeys partitions join conjuncts into cross-input equality
+// pairs (left-side expression, right-side expression) and the non-equi
+// residual. A conjunct qualifies as a key pair when it is a top-level
+// `=` whose operands each reference columns of exactly one input.
+func splitEquiKeys(preds []expr.Expr, leftAvail map[schema.AttrID]bool, right *schema.Schema) (lk, rk []expr.Expr, residual expr.Expr) {
+	rightAvail := make(map[schema.AttrID]bool, right.Len())
+	for _, col := range right.Cols {
+		rightAvail[col.ID] = true
+	}
+	var rest []expr.Expr
+	for _, pred := range preds {
+		cmp, ok := pred.(*expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			rest = append(rest, pred)
+			continue
+		}
+		la, ra := expr.Attrs(cmp.L), expr.Attrs(cmp.R)
+		switch {
+		case len(la) > 0 && len(ra) > 0 && attrsSubset(la, leftAvail) && attrsSubset(ra, rightAvail):
+			lk = append(lk, cmp.L)
+			rk = append(rk, cmp.R)
+		case len(la) > 0 && len(ra) > 0 && attrsSubset(ra, leftAvail) && attrsSubset(la, rightAvail):
+			lk = append(lk, cmp.R)
+			rk = append(rk, cmp.L)
+		default:
+			rest = append(rest, pred)
+		}
+	}
+	return lk, rk, expr.NewAnd(rest...)
+}
+
+// hashBuildWorthwhile reports whether a hash table over the build side
+// can pay for itself: with zero or one stored row the nested loop's
+// re-scan is already optimal.
+func hashBuildWorthwhile(t *catalog.Table) bool {
+	rows, err := t.ScanAll()
+	return err == nil && len(rows) > 1
+}
+
+// trySemiJoin rewrites Distinct(Project(HashJoin)) in place into
+// Distinct(Project(HashSemiJoin)) when the join has no residual
+// predicate and the projection references nothing from the build side:
+// only existence of a match matters, and the duplicate multiplicity a
+// semi-join erases was about to be erased by the DISTINCT anyway.
+func trySemiJoin(d *exec.Distinct) {
+	pr, ok := d.Child.(*exec.Project)
+	if !ok {
+		return
+	}
+	hj, ok := pr.Child.(*exec.HashJoin)
+	if !ok || hj.Residual != nil {
+		return
+	}
+	leftAvail := make(map[schema.AttrID]bool, hj.Left.Schema().Len())
+	for _, col := range hj.Left.Schema().Cols {
+		leftAvail[col.ID] = true
+	}
+	for _, e := range pr.Exprs {
+		if !attrsSubset(expr.Attrs(e), leftAvail) {
+			return
+		}
+	}
+	pr.Child = exec.NewHashSemiJoin(hj.Left, hj.Right, hj.LeftKeys, hj.RightKeys)
 }
 
 // buildEVScan performs binding analysis for one virtual table reference

@@ -347,14 +347,71 @@ func TestPlanCrossJoinStoredTables(t *testing.T) {
 	}
 }
 
-func TestPlanEquiJoinBecomesJoinPredicate(t *testing.T) {
+func TestPlanEquiJoinBecomesHashJoin(t *testing.T) {
 	p := newPlanner(t)
 	op := planSQL(t, p, `SELECT S1.Name FROM States S1, States S2 WHERE S1.Name = S2.Name`)
-	if got := exec.Shape(op); got != "Project(Join(Scan,Scan))" {
-		t.Errorf("equality should become the join predicate: %s", got)
+	if got := exec.Shape(op); got != "Project(Hash Join(Scan,Scan))" {
+		t.Errorf("equality should select a hash join: %s", got)
 	}
 	if len(runPlan(t, op)) != 3 {
 		t.Error("join rows")
+	}
+}
+
+func TestPlanEquiJoinWithResidual(t *testing.T) {
+	p := newPlanner(t)
+	op := planSQL(t, p, `SELECT S1.Name FROM States S1, States S2
+		WHERE S1.Name = S2.Name AND S1.Population < S2.Population + 1`)
+	if got := exec.Shape(op); got != "Project(Hash Join(Scan,Scan))" {
+		t.Errorf("residual should ride the hash join: %s", got)
+	}
+	if len(runPlan(t, op)) != 3 {
+		t.Error("join rows")
+	}
+}
+
+func TestPlanNonEquiJoinStaysNestedLoop(t *testing.T) {
+	p := newPlanner(t)
+	op := planSQL(t, p, `SELECT S1.Name FROM States S1, States S2 WHERE S1.Population < S2.Population`)
+	if got := exec.Shape(op); got != "Project(Join(Scan,Scan))" {
+		t.Errorf("non-equi predicate must stay nested-loop: %s", got)
+	}
+	if len(runPlan(t, op)) != 3 {
+		t.Error("join rows")
+	}
+}
+
+func TestPlanTinyBuildSideStaysNestedLoop(t *testing.T) {
+	p := newPlanner(t)
+	one, err := p.Cat.Create("One", []catalog.ColumnDef{{Name: "Name", Type: schema.TString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.Insert(types.Tuple{types.Str("Utah")}); err != nil {
+		t.Fatal(err)
+	}
+	op := planSQL(t, p, `SELECT S.Name FROM States S, One O WHERE S.Name = O.Name`)
+	if got := exec.Shape(op); got != "Project(Join(Scan,Scan))" {
+		t.Errorf("single-row build side must stay nested-loop: %s", got)
+	}
+	if len(runPlan(t, op)) != 1 {
+		t.Error("join rows")
+	}
+}
+
+func TestPlanDistinctExistenceBecomesSemiJoin(t *testing.T) {
+	p := newPlanner(t)
+	op := planSQL(t, p, `SELECT DISTINCT S1.Name FROM States S1, States S2 WHERE S1.Capital = S2.Capital`)
+	if got := exec.Shape(op); got != "Distinct(Project(Hash Semi Join(Scan,Scan)))" {
+		t.Errorf("existence-only hash join should degrade to a semi-join: %s", got)
+	}
+	if len(runPlan(t, op)) != 3 {
+		t.Error("semi-join rows")
+	}
+	// A projection that keeps right-side columns must keep the full join.
+	op = planSQL(t, p, `SELECT DISTINCT S2.Name FROM States S1, States S2 WHERE S1.Capital = S2.Capital`)
+	if got := exec.Shape(op); got != "Distinct(Project(Hash Join(Scan,Scan)))" {
+		t.Errorf("projection needs the build side, no semi-join: %s", got)
 	}
 }
 
