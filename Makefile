@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test check fuzz bench bench-smoke table1 examples clean
+.PHONY: all build vet lint test check fuzz fuzzqe-smoke bench bench-smoke table1 examples clean
 
 all: build check
 
@@ -45,11 +45,20 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 10s ./internal/expr
+	$(MAKE) fuzzqe-smoke
 
 # Longer fuzzing session for both targets.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 2m ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 2m ./internal/expr
+
+# Plan-equivalence fuzz smoke (~30s): a seeded, coverage-steered run of
+# the differential harness — four plan regimes per query checked against
+# the offline ground truth, including exact call and settlement counts
+# (DESIGN.md §11). A divergence exits non-zero and leaves a minimized
+# JSON repro in wsqfuzz-repro/ (uploaded as a CI artifact).
+fuzzqe-smoke:
+	$(GO) run ./cmd/wsqfuzz -seed 1 -duration 30s -n 0 -repro-dir wsqfuzz-repro
 
 # testing.B versions of every table/figure + ablations (see bench_test.go).
 bench:

@@ -1,0 +1,133 @@
+// Command wsqfuzz is the ground-truth plan-equivalence fuzzer for the WSQ
+// engine. It generates random multi-join WSQ queries over a deterministic
+// websim-backed schema, computes each query's exact result offline, and
+// executes it under every plan regime — synchronous nested-loop, async
+// percolated/consolidated nested-loop, and hash/batch plans at batch
+// sizes 1 and 256 — asserting that every regime reproduces the ground
+// truth and that external-call and ReqSync-settlement counts match the
+// plan model's predictions.
+//
+// On divergence the failing query is minimized by the shrinker and
+// written as a JSON repro (see internal/fuzzqe/testdata/ for the format),
+// and the process exits nonzero.
+//
+// Usage:
+//
+//	wsqfuzz [-seed 1] [-n 1000] [-duration 0] [-steer 4] [-repro-dir dir] [-v]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fuzzqe"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed (fully determines the query stream)")
+	n := flag.Int("n", 1000, "number of queries to run (0 with -duration for time-bounded runs)")
+	duration := flag.Duration("duration", 0, "stop after this wall time (0 = run -n queries)")
+	steer := flag.Int("steer", 4, "coverage-steering candidates per query (1 = unsteered)")
+	reproDir := flag.String("repro-dir", "", "directory for shrunk divergence repros (default: alongside the binary's cwd)")
+	verbose := flag.Bool("v", false, "log every query")
+	flag.Parse()
+
+	env, err := fuzzqe.NewTempEnv(7)
+	if err != nil {
+		fatal(err)
+	}
+	defer env.Close()
+
+	gen := fuzzqe.NewGen(env, *seed)
+	cov := fuzzqe.NewCoverage()
+	runner := &fuzzqe.Runner{Env: env}
+	ctx := context.Background()
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	start := time.Now()
+	ran := 0
+	for i := 0; ; i++ {
+		if *duration > 0 {
+			if time.Now().After(deadline) {
+				break
+			}
+		} else if i >= *n {
+			break
+		}
+		var spec *fuzzqe.QuerySpec
+		var sig string
+		if *steer > 1 {
+			spec, sig = gen.NextSteered(cov, *steer)
+		} else {
+			spec = gen.Next()
+			sig, _ = env.Signature(spec)
+		}
+		if sig != "" {
+			cov.Record(sig)
+		}
+		if *verbose {
+			fmt.Printf("query %d: %s\n", i, spec.SQL())
+		}
+		d, err := runner.RunOne(ctx, spec)
+		if err != nil {
+			fatal(fmt.Errorf("harness error on query %d: %w", i, err))
+		}
+		ran++
+		if d != nil {
+			report(runner, ctx, d, *reproDir)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+	fmt.Printf("wsqfuzz: %d queries, 0 divergences, %d plan shapes, seed %d, %v\n",
+		ran, cov.Buckets(), *seed, elapsed)
+	if *verbose {
+		fmt.Println("most-visited shapes:")
+		for _, b := range cov.Top(5) {
+			fmt.Printf("  %6d  %s\n", b.Count, b.Sig)
+		}
+	}
+}
+
+// report shrinks the diverging query, writes the minimized repro as JSON,
+// and prints both the original and minimized forms.
+func report(r *fuzzqe.Runner, ctx context.Context, d *fuzzqe.Divergence, dir string) {
+	fmt.Fprintf(os.Stderr, "DIVERGENCE: %s\n", d.Error())
+	min := fuzzqe.Shrink(d.Spec, func(cand *fuzzqe.QuerySpec) bool {
+		cd, err := r.RunOne(ctx, cand)
+		return err == nil && cd != nil && cd.Kind == d.Kind && cd.Variant == d.Variant
+	})
+	min.Note = fmt.Sprintf("shrunk from wsqfuzz divergence: %s in %s", d.Kind, d.Variant)
+	fmt.Fprintf(os.Stderr, "minimized: %s\n", min.SQL())
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "wsqfuzz: cannot create repro dir: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("repro-%s-%s.json", d.Kind, d.Variant))
+	blob, err := json.MarshalIndent(min, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsqfuzz: cannot marshal repro: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wsqfuzz: cannot write repro: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "repro written to %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsqfuzz:", err)
+	os.Exit(1)
+}

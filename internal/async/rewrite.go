@@ -97,8 +97,32 @@ func percolate(root exec.Operator, rs *ReqSync) exec.Operator {
 			}
 			// Clashing selection: pull the selection above ITS parent
 			// first when legal ("if O is a projection or selection, we can
-			// pull O above its parent first"), then retry.
-			if hoisted, newRoot := hoistAbove(root, p); hoisted {
+			// pull O above its parent first"), then retry. When several
+			// clashing selections are stacked directly on the ReqSync
+			// (e.g. a hoisted web filter plus a join→σ(×) selection),
+			// hoist the TOPMOST of the stack — hoisting the immediate
+			// parent would just swap two clashing selections with each
+			// other forever.
+			top := p
+			for {
+				gp, _ := findParent(root, top)
+				f, ok := gp.(*exec.Filter)
+				if !ok || !expr.References(f.Pred, rs.A) {
+					break
+				}
+				top = f
+			}
+			// Hoist only past operators the ReqSync could itself follow.
+			// If the stack's parent blocks the ReqSync anyway (a dependent
+			// join binding one of rs.A, a sort keyed on one), hoisting is a
+			// pure pessimization: the ReqSync still rests here, while the
+			// selection — which could have applied before the blocker —
+			// would now apply above it, issuing extra web calls below any
+			// later dependent join.
+			if gp, gidx := findParent(root, top); gp != nil && blocksReqSync(gp, gidx, rs) {
+				return root
+			}
+			if hoisted, newRoot := hoistAbove(root, top); hoisted {
 				root = newRoot
 				continue
 			}
@@ -193,6 +217,21 @@ func projectClashes(p *exec.Project, a map[schema.AttrID]bool) bool {
 		if !kept[id] {
 			return true // placeholder attribute projected away
 		}
+	}
+	return false
+}
+
+// blocksReqSync reports whether rs could never percolate past p from
+// child position idx: a dependent join feeding rs.A attributes to its
+// right subtree as bindings, or a sort keyed on an attribute rs fills.
+// (Operators that clash unconditionally — projections, aggregates,
+// distincts, semi-joins — never accept a hoist in the first place.)
+func blocksReqSync(p exec.Operator, idx int, rs *ReqSync) bool {
+	switch o := p.(type) {
+	case *exec.DependentJoin:
+		return idx == 0 && intersects(outerRefs(o.Right), rs.A)
+	case *exec.Sort:
+		return intersects(o.KeyAttrs(), rs.A)
 	}
 	return false
 }

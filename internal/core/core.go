@@ -198,6 +198,10 @@ type QueryOptions struct {
 	// per-operator span tree (timings, cardinalities, patch/expansion
 	// counts). Costs two time.Now calls per operator invocation.
 	Trace bool
+	// BatchSize overrides the executor's vectorized batch size for this
+	// statement (0 = exec.DefaultBatchSize). The golden e2e suite and the
+	// plan-equivalence fuzzer sweep it to pin batch-boundary semantics.
+	BatchSize int
 }
 
 // Exec parses and executes one SQL statement with no deadline.
@@ -365,6 +369,7 @@ func (db *DB) runQueryable(goCtx context.Context, st sqlparse.Statement, opts Qu
 	if opts.Degrade != nil {
 		ctx.Degrade = *opts.Degrade
 	}
+	ctx.BatchSize = opts.BatchSize
 	ctx.RetryCall = db.pump.CallWithRetry
 	ctx.Trace = span
 	rows, err := exec.Run(ctx, op)

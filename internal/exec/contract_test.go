@@ -189,6 +189,160 @@ func contractCases() []contractCase {
 			}}
 			return NewEVScan(src, []expr.Expr{expr.NewLiteral(types.Str("abc"))}, fakeSchema("V")), nil
 		}},
+		{"HashSemiJoinNullMultiKey", func() (Operator, []*faultOp) {
+			lk, ln := strCol("L", "K"), intCol("L", "N")
+			rk, rn := strCol("R", "K"), intCol("R", "N")
+			lf := newFault(NewValuesScan(schema.New(lk, ln), []types.Tuple{
+				{types.Str("a"), types.Int(1)},
+				{types.Str("b"), types.Null()},
+				{types.Null(), types.Int(2)},
+				{types.Str("c"), types.Int(2)},
+			}))
+			rf := newFault(NewValuesScan(schema.New(rk, rn), []types.Tuple{
+				{types.Str("a"), types.Int(1)},
+				{types.Str("b"), types.Int(2)},
+				{types.Null(), types.Int(1)},
+			}))
+			return NewHashSemiJoin(lf, rf,
+				[]expr.Expr{expr.NewColRef(lk), expr.NewColRef(ln)},
+				[]expr.Expr{expr.NewColRef(rk), expr.NewColRef(rn)}), []*faultOp{lf, rf}
+		}},
+		{"DependentJoinBatchBound", func() (Operator, []*faultOp) {
+			term := strCol("L", "Term")
+			lf := newFault(NewValuesScan(schema.New(term), []types.Tuple{
+				{types.Str("ab")}, {types.Str("xyz")},
+			}))
+			src := &fakeSource{name: "WC", rowsFor: func(arg string) []types.Tuple {
+				return []types.Tuple{{types.Int(int64(len(arg)))}}
+			}}
+			ev := NewEVScan(src, []expr.Expr{expr.NewColRef(term)}, fakeSchema("V"))
+			return NewDependentJoin(lf, &batchBoundEV{EVScan: ev}, "V"), []*faultOp{lf}
+		}},
+	}
+}
+
+// batchBoundEV wraps an EVScan with a BindBatch implementation that
+// services each frame through the scalar protocol — a pump-free stand-in
+// for AEVScan's batch registration, so the suite can drive
+// DependentJoin.nextBatchBound without the async machinery.
+type batchBoundEV struct {
+	*EVScan
+}
+
+func (b *batchBoundEV) BindBatch(ctx *Context, frames []map[schema.AttrID]types.Value) ([][]types.Tuple, bool, error) {
+	if len(frames) == 0 {
+		return nil, true, nil // capability probe
+	}
+	rows := make([][]types.Tuple, len(frames))
+	for fi, frame := range frames {
+		ctx.Env.PushFrame(frame)
+		err := b.EVScan.Open(ctx)
+		if err == nil {
+			for {
+				t, ok, nerr := b.EVScan.Next(ctx)
+				if nerr != nil {
+					err = nerr
+					break
+				}
+				if !ok {
+					break
+				}
+				rows[fi] = append(rows[fi], t)
+			}
+		}
+		cerr := b.EVScan.Close()
+		ctx.Env.PopFrame()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return rows, true, nil
+}
+
+// TestDependentJoinBatchBoundMatchesScalar: the batch-bound dependent-join
+// path must be invisible — same rows in the same order, and the same
+// number of source calls, as the per-tuple protocol — at every batch
+// granularity including ones that split the outer stream mid-batch.
+func TestDependentJoinBatchBoundMatchesScalar(t *testing.T) {
+	outer := []types.Tuple{
+		{types.Str("ab")}, {types.Str("xyz")}, {types.Str("none")},
+		{types.Str("ab")}, {types.Str("q")},
+	}
+	rowsFor := func(arg string) []types.Tuple {
+		if arg == "none" {
+			return nil // zero-row binding: the join must emit nothing for it
+		}
+		out := []types.Tuple{{types.Int(int64(len(arg)))}}
+		if len(arg) > 2 {
+			out = append(out, types.Tuple{types.Int(int64(-len(arg)))})
+		}
+		return out
+	}
+	build := func(batched bool) (Operator, *fakeSource) {
+		term := strCol("L", "Term")
+		left := NewValuesScan(schema.New(term), outer)
+		src := &fakeSource{name: "WC", rowsFor: rowsFor}
+		var right Operator = NewEVScan(src, []expr.Expr{expr.NewColRef(term)}, fakeSchema("V"))
+		if batched {
+			right = &batchBoundEV{EVScan: right.(*EVScan)}
+		}
+		return NewDependentJoin(left, right, "V"), src
+	}
+	for _, bs := range []int{1, 3, 256} {
+		scalarOp, scalarSrc := build(false)
+		ctx := NewContext()
+		ctx.BatchSize = bs
+		want, err := Run(ctx, scalarOp)
+		if err != nil {
+			t.Fatalf("batch %d scalar: %v", bs, err)
+		}
+		batchOp, batchSrc := build(true)
+		ctx = NewContext()
+		ctx.BatchSize = bs
+		got, err := Run(ctx, batchOp)
+		if err != nil {
+			t.Fatalf("batch %d bound: %v", bs, err)
+		}
+		if fmt.Sprint(rowStrings(want)) != fmt.Sprint(rowStrings(got)) {
+			t.Errorf("batch %d: rows diverge\nscalar: %v\nbound:  %v", bs, want, got)
+		}
+		if scalarSrc.callCount() != batchSrc.callCount() {
+			t.Errorf("batch %d: calls diverge: scalar %d, bound %d",
+				bs, scalarSrc.callCount(), batchSrc.callCount())
+		}
+	}
+}
+
+// TestHashSemiJoinNullAndMultiKey pins the semi-join's key semantics: a
+// NULL in any key column matches nothing (on either side), and
+// multi-column keys must agree on every column, not just the hash.
+func TestHashSemiJoinNullAndMultiKey(t *testing.T) {
+	lk, ln := strCol("L", "K"), intCol("L", "N")
+	rk, rn := strCol("R", "K"), intCol("R", "N")
+	left := NewValuesScan(schema.New(lk, ln), []types.Tuple{
+		{types.Str("a"), types.Int(1)},  // matches ("a",1)
+		{types.Str("a"), types.Int(2)},  // key exists per-column but not pairwise
+		{types.Str("b"), types.Null()},  // NULL probe key: dropped
+		{types.Null(), types.Int(1)},    // NULL probe key: dropped
+		{types.Str("c"), types.Int(2)},  // no match
+		{types.Str("a"), types.Int(1)},  // duplicate probe: emitted again
+	})
+	right := NewValuesScan(schema.New(rk, rn), []types.Tuple{
+		{types.Str("a"), types.Int(1)},
+		{types.Str("b"), types.Int(2)},
+		{types.Null(), types.Int(2)}, // NULL build key: never matches ("c",2)
+		{types.Str("a"), types.Int(1)},
+	})
+	j := NewHashSemiJoin(left, right,
+		[]expr.Expr{expr.NewColRef(lk), expr.NewColRef(ln)},
+		[]expr.Expr{expr.NewColRef(rk), expr.NewColRef(rn)})
+	rows := runAll(t, j)
+	want := "[<a, 1> <a, 1>]"
+	if got := fmt.Sprint(rowStrings(rows)); got != want {
+		t.Errorf("semi-join output = %v, want %v", got, want)
 	}
 }
 

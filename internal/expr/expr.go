@@ -398,6 +398,53 @@ func (l *Logic) String() string {
 }
 
 // ---------------------------------------------------------------------------
+// IS [NOT] NULL
+
+// IsNull tests whether a subexpression evaluates to NULL (or, with Not
+// set, to a non-NULL value). Unlike Cmp against a NULL literal it yields
+// a definite boolean, so it is the only way a predicate can select
+// NULL-bearing rows.
+type IsNull struct {
+	Not bool
+	E   Expr
+}
+
+// NewIsNull builds an IS [NOT] NULL node.
+func NewIsNull(e Expr, not bool) *IsNull { return &IsNull{Not: not, E: e} }
+
+// Bind implements Expr.
+func (n *IsNull) Bind(s *schema.Schema) error { return n.E.Bind(s) }
+
+// Eval implements Expr. A placeholder is an error, not NULL: whether the
+// pending value settles to NULL is unknowable here, so evaluating below
+// ReqSync would silently flip the predicate. The asynchronous rewrite's
+// clash rules must keep any filter containing IsNull above ReqSync.
+func (n *IsNull) Eval(env *Env, row types.Tuple) (types.Value, error) {
+	v, err := n.E.Eval(env, row)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if v.IsPlaceholder() {
+		return types.Value{}, fmt.Errorf("%s evaluated over pending placeholder value; plan rewrite must keep this operator above ReqSync", n)
+	}
+	return types.Bool(v.IsNull() != n.Not), nil
+}
+
+// CollectAttrs implements Expr.
+func (n *IsNull) CollectAttrs(set map[schema.AttrID]bool) { n.E.CollectAttrs(set) }
+
+// Type implements Expr.
+func (n *IsNull) Type() schema.Type { return schema.TInt }
+
+// String implements Expr.
+func (n *IsNull) String() string {
+	if n.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
+}
+
+// ---------------------------------------------------------------------------
 // Arithmetic
 
 // ArithOp is an arithmetic operator.

@@ -119,6 +119,35 @@ func TestComparisonOverPlaceholderErrors(t *testing.T) {
 	}
 }
 
+func TestIsNull(t *testing.T) {
+	s, name, pop, _ := testSchema()
+	row := types.Tuple{types.Null(), types.Int(5), types.Int(1)}
+	if v := mustEval(t, NewIsNull(NewColRef(name), false), s, row); !v.Truthy() {
+		t.Error("NULL IS NULL should hold")
+	}
+	if v := mustEval(t, NewIsNull(NewColRef(name), true), s, row); v.Truthy() {
+		t.Error("NULL IS NOT NULL should not hold")
+	}
+	if v := mustEval(t, NewIsNull(NewColRef(pop), false), s, row); v.Truthy() {
+		t.Error("5 IS NULL should not hold")
+	}
+	if v := mustEval(t, NewIsNull(NewColRef(pop), true), s, row); !v.Truthy() {
+		t.Error("5 IS NOT NULL should hold")
+	}
+}
+
+func TestIsNullOverPlaceholderErrors(t *testing.T) {
+	s, _, pop, _ := testSchema()
+	row := types.Tuple{types.Str("x"), types.Placeholder(9, 0), types.Int(1)}
+	e := NewIsNull(NewColRef(pop), false)
+	if err := e.Bind(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(&Env{}, row); err == nil {
+		t.Fatal("IS NULL over a placeholder must error (plan rewrite invariant)")
+	}
+}
+
 func TestLogicShortCircuit(t *testing.T) {
 	s, _, _, _ := testSchema()
 	tr := NewLiteral(types.Bool(true))

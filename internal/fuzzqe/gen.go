@@ -1,0 +1,302 @@
+package fuzzqe
+
+import (
+	"fmt"
+
+	"repro/internal/datasets"
+	"repro/internal/search"
+)
+
+// genCol is one column the random walk can reach: its qualified name,
+// type class, and whether the schema guarantees it non-NULL (only
+// non-NULL string columns may bind a web join's T1 — a NULL term value
+// errors the virtual-table call in every plan regime).
+type genCol struct {
+	name    string
+	isInt   bool
+	nonNull bool
+	web     bool // produced by a web join
+	url     bool // a WebPages URL (eligible as a T1 binding, rarely)
+}
+
+// Gen generates QuerySpecs by random-walking the schema graph: start at
+// the fact table, repeatedly attach a dimension join or a dependent web
+// join whose T1 binds to a previously-reached non-NULL string column,
+// then sprinkle filters, DISTINCT, projection, and ORDER BY over the
+// reached columns. All randomness flows through one locked search.Rand,
+// so a seed fully determines the query stream.
+type Gen struct {
+	rng *search.Rand
+	env *Env
+}
+
+// NewGen returns a generator over env's schema seeded with seed.
+func NewGen(env *Env, seed int64) *Gen {
+	return &Gen{rng: search.NewRand(seed), env: env}
+}
+
+// Next produces one QuerySpec.
+func (g *Gen) Next() *QuerySpec {
+	r := g.rng
+	spec := &QuerySpec{}
+	cols := []genCol{
+		{name: "f.Id", isInt: true, nonNull: true},
+		{name: "f.Sk"},
+		{name: "f.Tk", nonNull: true},
+		{name: "f.Mk"},
+		{name: "f.V", isInt: true, nonNull: true},
+	}
+	dimLeft := []string{JoinState, JoinTerm, JoinMovie}
+	webs := 0
+	nJoins := r.Intn(5) // 0..4
+	for k := 0; k < nJoins; k++ {
+		// Candidate kinds: each unjoined dimension once, webs up to two.
+		kinds := append([]string{}, dimLeft...)
+		if webs < 2 {
+			kinds = append(kinds, "web", "web") // weight webs like two dims
+		}
+		if len(kinds) == 0 {
+			break
+		}
+		kind := kinds[r.Intn(len(kinds))]
+		switch kind {
+		case JoinState:
+			spec.Joins = append(spec.Joins, Join{Kind: JoinState, Alias: "s"})
+			cols = append(cols,
+				genCol{name: "s.Sk", nonNull: true},
+				genCol{name: "s.Cap", nonNull: true},
+				genCol{name: "s.Pop", isInt: true, nonNull: true})
+			dimLeft = remove(dimLeft, JoinState)
+		case JoinTerm:
+			spec.Joins = append(spec.Joins, Join{Kind: JoinTerm, Alias: "t"})
+			cols = append(cols,
+				genCol{name: "t.Tk", nonNull: true},
+				genCol{name: "t.Grp", isInt: true, nonNull: true})
+			dimLeft = remove(dimLeft, JoinTerm)
+		case JoinMovie:
+			spec.Joins = append(spec.Joins, Join{Kind: JoinMovie, Alias: "m"})
+			cols = append(cols,
+				genCol{name: "m.Mk", nonNull: true},
+				genCol{name: "m.Len", isInt: true, nonNull: true})
+			dimLeft = remove(dimLeft, JoinMovie)
+		default: // web
+			webs++
+			j := Join{Alias: fmt.Sprintf("w%d", webs)}
+			if r.Float64() < 0.6 {
+				j.Kind = JoinWebCount
+			} else {
+				j.Kind = JoinWebPages
+				j.RankLimit = 1 + r.Intn(3)
+			}
+			if r.Float64() < 0.5 {
+				j.Engine = "AV"
+			} else {
+				j.Engine = "G"
+			}
+			j.BindCol = g.pickBindCol(cols)
+			if r.Float64() < 0.3 {
+				j.T2Const = datasets.TemplateConstants[r.Intn(len(datasets.TemplateConstants))]
+			}
+			spec.Joins = append(spec.Joins, j)
+			if j.Kind == JoinWebCount {
+				cols = append(cols, genCol{name: j.Alias + ".Count", isInt: true, nonNull: true, web: true})
+			} else {
+				cols = append(cols,
+					genCol{name: j.Alias + ".URL", nonNull: true, web: true, url: true},
+					genCol{name: j.Alias + ".Rank", isInt: true, nonNull: true, web: true},
+					genCol{name: j.Alias + ".Date", nonNull: true, web: true})
+			}
+		}
+	}
+
+	// Fact.Id range: with web joins present it bounds external calls per
+	// query; without them it still varies scan selectivity.
+	if webs > 0 {
+		width := int64(6 + r.Intn(9))
+		spec.IDLo = int64(r.Intn(NumFactRows - int(width)))
+		spec.IDHi = spec.IDLo + width - 1
+	} else if r.Float64() < 0.5 {
+		spec.IDLo = int64(r.Intn(NumFactRows / 2))
+		spec.IDHi = spec.IDLo + int64(r.Intn(NumFactRows/2))
+	} else {
+		spec.IDHi = NumFactRows - 1
+	}
+
+	for n := r.Intn(4); n > 0; n-- {
+		if f, ok := g.genFilter(cols); ok {
+			spec.Filters = append(spec.Filters, f)
+		}
+	}
+
+	spec.Distinct = r.Float64() < 0.25
+	projPool := cols
+	// Existential shape: DISTINCT projecting only columns from before the
+	// final dimension join plans as a hash semi-join in the hash variants.
+	if n := len(spec.Joins); n > 0 && !spec.Joins[n-1].IsWeb() && r.Float64() < 0.25 {
+		spec.Distinct = true
+		alias := spec.Joins[n-1].Alias
+		var pre []genCol
+		for _, c := range cols {
+			if aliasOf(c.name) != alias {
+				pre = append(pre, c)
+			}
+		}
+		projPool = pre
+	}
+	nProj := 1 + r.Intn(3)
+	perm := make([]int, len(projPool))
+	for i := range perm {
+		perm[i] = i
+	}
+	r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for _, pi := range perm[:min(nProj, len(perm))] {
+		spec.Proj = append(spec.Proj, projPool[pi].name)
+	}
+
+	if r.Float64() < 0.2 {
+		for _, col := range spec.Proj[:min(1+r.Intn(2), len(spec.Proj))] {
+			spec.OrderBy = append(spec.OrderBy, OrderKey{Col: col, Desc: r.Float64() < 0.5})
+		}
+	}
+	return spec
+}
+
+// pickBindCol selects a non-NULL string column to bind a web join's T1.
+// Entity-bearing columns dominate; a WebPages URL is chosen rarely — it
+// makes the next dependent join's bindings depend on a pending call,
+// exercising the percolation clash rule for dependent joins.
+func (g *Gen) pickBindCol(cols []genCol) string {
+	r := g.rng
+	var entity, urls []string
+	for _, c := range cols {
+		if c.isInt || !c.nonNull {
+			continue
+		}
+		if c.url {
+			urls = append(urls, c.name)
+		} else if !c.web {
+			entity = append(entity, c.name)
+		}
+	}
+	if len(urls) > 0 && r.Float64() < 0.1 {
+		return urls[r.Intn(len(urls))]
+	}
+	return entity[r.Intn(len(entity))]
+}
+
+// genFilter draws one restricted conjunct over the reached columns.
+func (g *Gen) genFilter(cols []genCol) (Filter, bool) {
+	r := g.rng
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	switch r.Intn(4) {
+	case 0: // int column vs constant
+		var ints []genCol
+		for _, c := range cols {
+			if c.isInt && c.name != "f.Id" && !c.url {
+				ints = append(ints, c)
+			}
+		}
+		if len(ints) == 0 {
+			return Filter{}, false
+		}
+		c := ints[r.Intn(len(ints))]
+		v := g.intConstFor(c.name)
+		return Filter{Col: c.name, Op: ops[r.Intn(len(ops))], IntVal: &v}, true
+	case 1: // string column vs constant
+		var strs []genCol
+		for _, c := range cols {
+			if !c.isInt && !c.web {
+				strs = append(strs, c)
+			}
+		}
+		if len(strs) == 0 {
+			return Filter{}, false
+		}
+		c := strs[r.Intn(len(strs))]
+		v := g.strConstFor(c.name)
+		op := "="
+		if r.Float64() < 0.4 {
+			op = "<>"
+		}
+		return Filter{Col: c.name, Op: op, StrVal: &v}, true
+	case 2: // IS [NOT] NULL on a NULL-bearing fact key
+		col := "f.Sk"
+		if r.Float64() < 0.5 {
+			col = "f.Mk"
+		}
+		op := "isnull"
+		if r.Float64() < 0.5 {
+			op = "isnotnull"
+		}
+		return Filter{Col: col, Op: op}, true
+	default: // column vs column, same type class, distinct aliases
+		for try := 0; try < 4; try++ {
+			a := cols[r.Intn(len(cols))]
+			b := cols[r.Intn(len(cols))]
+			if a.isInt != b.isInt || aliasOf(a.name) == aliasOf(b.name) {
+				continue
+			}
+			// Rank-vs-literal is consumed as a rank limit by the planner;
+			// Rank-vs-column stays a plain filter and is fine.
+			return Filter{Col: a.name, Op: ops[r.Intn(len(ops))], RCol: b.name}, true
+		}
+		return Filter{}, false
+	}
+}
+
+// intConstFor picks a threshold in the column's plausible range so
+// filters are neither always-true nor always-false.
+func (g *Gen) intConstFor(col string) int64 {
+	r := g.rng
+	switch col {
+	case "f.V":
+		return int64(r.Intn(10))
+	case "s.Pop":
+		pops := []int64{1000000, 3000000, 6000000, 12000000}
+		return pops[r.Intn(len(pops))]
+	case "t.Grp":
+		return int64(r.Intn(3))
+	case "m.Len":
+		return int64(80 + r.Intn(64))
+	default: // w*.Count, w*.Rank
+		spread := []int64{0, 1, 5, 25, 100, 1000, 10000}
+		return spread[r.Intn(len(spread))]
+	}
+}
+
+// strConstFor picks a value from the column's key pool (so equality can
+// hit), occasionally one outside it.
+func (g *Gen) strConstFor(col string) string {
+	r := g.rng
+	if r.Float64() < 0.15 {
+		return "zzz-nonesuch"
+	}
+	switch col {
+	case "f.Sk", "s.Sk":
+		return g.env.FactSks[r.Intn(len(g.env.FactSks))]
+	case "s.Cap":
+		st, _ := datasets.StateByName(g.env.FactSks[r.Intn(10)])
+		return st.Capital
+	case "f.Tk", "t.Tk":
+		return g.env.FactTks[r.Intn(len(g.env.FactTks))]
+	default: // f.Mk, m.Mk
+		return g.env.FactMks[r.Intn(len(g.env.FactMks))]
+	}
+}
+
+func remove(ss []string, s string) []string {
+	out := ss[:0]
+	for _, x := range ss {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+package fuzzqe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/async"
+	"repro/internal/exec"
+	"repro/internal/sqlparse"
+	"repro/internal/types"
+)
+
+// Variant is one plan regime the differential harness executes a query
+// under.
+type Variant struct {
+	Name string
+	// DisableHash forces nested-loop joins (and suppresses the semi-join
+	// rewrite), the paper's baseline plans.
+	DisableHash bool
+	// Async applies the asynchronous-iteration rewrite.
+	Async bool
+	// BatchSize overrides the executor batch granularity (0 = default).
+	BatchSize int
+}
+
+// Variants are the four regimes every query runs under: the synchronous
+// nested-loop plan, the async percolated/consolidated nested-loop plan,
+// and the hash-join plan under async at batch sizes 1 and 256.
+var Variants = []Variant{
+	{Name: "sync-nlj", DisableHash: true},
+	{Name: "async-nlj", DisableHash: true, Async: true},
+	{Name: "async-hash-b1", Async: true, BatchSize: 1},
+	{Name: "async-hash-b256", Async: true, BatchSize: 256},
+}
+
+// VariantResult is one variant's observed behavior.
+type VariantResult struct {
+	Name     string
+	Multiset map[string]int
+	Rows     []types.Tuple // projected rows in emission order
+	Calls    int64         // ctx.Stats.ExternalCalls
+	Settled  int64         // sum of ReqSync "settled" counters across the plan
+	Err      error
+}
+
+// Divergence is one detected disagreement: between a variant and the
+// ground truth, between variants, or between observed and predicted
+// plan behavior (call counts, settlement accounting, output order).
+type Divergence struct {
+	Spec    *QuerySpec
+	SQL     string
+	Variant string
+	Kind    string // "error" | "result" | "calls" | "settle" | "order"
+	Detail  string
+}
+
+// Error renders the divergence for logs and repro files.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("%s divergence in %s: %s\n  query: %s", d.Kind, d.Variant, d.Detail, d.SQL)
+}
+
+// Runner executes specs differentially against an Env.
+type Runner struct {
+	Env *Env
+	// Mutate, when non-nil, post-processes every async-rewritten plan
+	// before execution. It exists for the fuzzer's self-test: a mutation
+	// that re-introduces a percolation clash must be caught as a
+	// divergence within a bounded number of queries.
+	Mutate func(exec.Operator) exec.Operator
+}
+
+// RunOne evaluates spec's ground truth and executes it under every
+// variant, returning the first divergence found (nil when all regimes
+// agree). The returned error reports harness-level failures — a spec the
+// truth evaluator itself cannot handle — not query divergences.
+func (r *Runner) RunOne(ctx context.Context, spec *QuerySpec) (*Divergence, error) {
+	truth, err := r.Env.Truth(spec)
+	if err != nil {
+		return nil, fmt.Errorf("ground truth for %q: %w", spec.SQL(), err)
+	}
+	sql := spec.SQL()
+	diverge := func(v, kind, detail string) *Divergence {
+		return &Divergence{Spec: spec, SQL: sql, Variant: v, Kind: kind, Detail: detail}
+	}
+	for _, v := range Variants {
+		res := r.runVariant(ctx, spec, v)
+		if res.Err != nil {
+			return diverge(v.Name, "error", res.Err.Error()), nil
+		}
+		if d := diffMultisets(truth.Multiset, res.Multiset); d != "" {
+			return diverge(v.Name, "result", d), nil
+		}
+		want := truth.SyncCalls
+		if v.Async {
+			want = truth.AsyncCalls
+		}
+		if res.Calls != want {
+			return diverge(v.Name, "calls",
+				fmt.Sprintf("issued %d external calls, plan model predicts %d", res.Calls, want)), nil
+		}
+		if v.Async {
+			wantSettle := truth.AsyncSettledHash
+			if v.DisableHash {
+				wantSettle = truth.AsyncSettledNLJ
+			}
+			if res.Settled != wantSettle {
+				return diverge(v.Name, "settle",
+					fmt.Sprintf("ReqSyncs settled %d of %d issued calls, plan model predicts %d settled",
+						res.Settled, res.Calls, wantSettle)), nil
+			}
+		}
+		// The async rewrite can percolate a ReqSync above a Sort whose
+		// keys it does not fill, which reorders late-settling tuples, so
+		// ordered output is only asserted for the synchronous plan (see
+		// DESIGN.md §11).
+		if !v.Async && len(spec.OrderBy) > 0 {
+			if d := checkOrdered(spec, res.Rows); d != "" {
+				return diverge(v.Name, "order", d), nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// runVariant plans and executes spec under one regime.
+func (r *Runner) runVariant(ctx context.Context, spec *QuerySpec, v Variant) VariantResult {
+	res := VariantResult{Name: v.Name}
+	sel, err := sqlparse.ParseSelect(spec.SQL())
+	if err != nil {
+		res.Err = fmt.Errorf("parse: %w", err)
+		return res
+	}
+	pl := *r.Env.Planner
+	pl.DisableHashJoins = v.DisableHash
+	op, err := pl.PlanSelect(sel)
+	if err != nil {
+		res.Err = fmt.Errorf("plan: %w", err)
+		return res
+	}
+	if v.Async {
+		op = async.Rewrite(op, r.Env.Pump)
+		if r.Mutate != nil {
+			op = r.Mutate(op)
+		}
+	}
+	ectx := exec.NewContextWith(ctx)
+	ectx.BatchSize = v.BatchSize
+	rows, err := exec.Run(ectx, op)
+	res.Settled = sumSettled(op)
+	if err != nil {
+		res.Err = fmt.Errorf("exec: %w", err)
+		return res
+	}
+	res.Rows = rows
+	res.Calls = ectx.Stats.ExternalCalls
+	res.Multiset = make(map[string]int, len(rows))
+	for _, row := range rows {
+		res.Multiset[EncodeRow(row)]++
+	}
+	return res
+}
+
+// sumSettled totals the "settled" counter over every ReqSync in the plan.
+func sumSettled(op exec.Operator) int64 {
+	var n int64
+	if rs, ok := op.(*async.ReqSync); ok {
+		n += rs.SpanExtras()["settled"]
+	}
+	for _, c := range op.Children() {
+		n += sumSettled(c)
+	}
+	return n
+}
+
+// diffMultisets returns "" when equal, else a short description naming a
+// few rows whose multiplicities differ ("truth" is the expected side).
+func diffMultisets(want, got map[string]int) string {
+	var diffs []string
+	for k, w := range want {
+		if g := got[k]; g != w {
+			diffs = append(diffs, fmt.Sprintf("row %q: truth has %d, variant has %d", printable(k), w, g))
+		}
+	}
+	for k, g := range got {
+		if _, ok := want[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("row %q: truth has 0, variant has %d", printable(k), g))
+		}
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	sort.Strings(diffs)
+	if len(diffs) > 4 {
+		diffs = append(diffs[:4], fmt.Sprintf("... and %d more", len(diffs)-4))
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// checkOrdered verifies rows are sorted per the spec's ORDER BY keys.
+func checkOrdered(spec *QuerySpec, rows []types.Tuple) string {
+	idx := make([]int, len(spec.OrderBy))
+	for i, k := range spec.OrderBy {
+		idx[i] = -1
+		for pi, p := range spec.Proj {
+			if p == k.Col {
+				idx[i] = pi
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return fmt.Sprintf("order key %s not projected", k.Col)
+		}
+	}
+	for ri := 1; ri < len(rows); ri++ {
+		for ki, k := range spec.OrderBy {
+			c := rows[ri-1][idx[ki]].Compare(rows[ri][idx[ki]])
+			if k.Desc {
+				c = -c
+			}
+			if c < 0 {
+				break // strictly ordered on this key
+			}
+			if c > 0 {
+				return fmt.Sprintf("rows %d and %d out of order on %s", ri-1, ri, k.Col)
+			}
+		}
+	}
+	return ""
+}
+
+func printable(key string) string {
+	return strings.ReplaceAll(key, "\x1f", "|")
+}

@@ -1,0 +1,108 @@
+package fuzzqe
+
+import (
+	"sort"
+
+	"repro/internal/async"
+	"repro/internal/exec"
+	"repro/internal/sqlparse"
+)
+
+// Coverage buckets generated queries by rewrite-shape signature — the
+// operator nesting of the async-rewritten hash plan, which encodes the
+// clash pattern (where each ReqSync came to rest), the join kinds, and
+// the surviving operator order. Generation is biased toward buckets
+// visited least (KQE-lite): structurally novel plans are where rewrite
+// bugs live, and unsteered generation keeps revisiting the common
+// shapes.
+type Coverage struct {
+	visits map[string]int
+}
+
+// NewCoverage returns an empty tracker.
+func NewCoverage() *Coverage { return &Coverage{visits: make(map[string]int)} }
+
+// Signature plans spec (hash joins enabled, async rewrite applied — the
+// richest regime) without executing it and returns the plan's shape
+// string, e.g. "Project(ReqSync(Filter(DependentJoin(...))))".
+func (e *Env) Signature(spec *QuerySpec) (string, error) {
+	sel, err := sqlparse.ParseSelect(spec.SQL())
+	if err != nil {
+		return "", err
+	}
+	pl := *e.Planner
+	op, err := pl.PlanSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	op = async.Rewrite(op, e.Pump)
+	return exec.Shape(op), nil
+}
+
+// Record counts one executed query in the signature's bucket.
+func (c *Coverage) Record(sig string) { c.visits[sig]++ }
+
+// Visits returns the bucket's query count.
+func (c *Coverage) Visits(sig string) int { return c.visits[sig] }
+
+// Buckets returns the number of distinct shapes seen.
+func (c *Coverage) Buckets() int { return len(c.visits) }
+
+// Top returns up to n (signature, count) pairs, most-visited first — the
+// fuzzer's end-of-run coverage report.
+func (c *Coverage) Top(n int) []struct {
+	Sig   string
+	Count int
+} {
+	out := make([]struct {
+		Sig   string
+		Count int
+	}, 0, len(c.visits))
+	for s, k := range c.visits {
+		out = append(out, struct {
+			Sig   string
+			Count int
+		}{s, k})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// NextSteered draws k candidate specs and returns the one whose shape
+// bucket has been visited least, with its signature. Planning a candidate
+// costs microseconds; executing it costs external calls — so spending a
+// few plans to pick each execution shifts the run toward unvisited plan
+// structure. Candidates that fail to plan are skipped (and the last one
+// is returned unsteered if every candidate fails, letting the harness
+// surface the planning error as a divergence).
+func (g *Gen) NextSteered(cov *Coverage, k int) (*QuerySpec, string) {
+	var best *QuerySpec
+	bestSig := ""
+	bestVisits := -1
+	for i := 0; i < k; i++ {
+		spec := g.Next()
+		sig, err := g.env.Signature(spec)
+		if err != nil {
+			if best == nil {
+				best, bestSig = spec, ""
+			}
+			continue
+		}
+		v := cov.Visits(sig)
+		if bestVisits < 0 || v < bestVisits {
+			best, bestSig, bestVisits = spec, sig, v
+		}
+		if v == 0 {
+			break // an unvisited bucket: no need to draw more
+		}
+	}
+	return best, bestSig
+}

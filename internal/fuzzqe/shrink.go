@@ -1,0 +1,151 @@
+package fuzzqe
+
+// Shrink minimizes a diverging spec: it repeatedly tries structural
+// reductions — dropping joins (with cascade over anything referencing
+// them), dropping filters, clearing DISTINCT/ORDER BY/T2 bindings,
+// shrinking rank limits and the Id range — keeping a reduction whenever
+// keep reports the divergence still reproduces, until a fixpoint. The
+// result is what gets written to the repro corpus.
+func Shrink(spec *QuerySpec, keep func(*QuerySpec) bool) *QuerySpec {
+	cur := spec.Clone()
+	for {
+		reduced := false
+		// Drop joins, last first (later joins depend on earlier columns,
+		// never the reverse).
+		for i := len(cur.Joins) - 1; i >= 0; i-- {
+			if cand := dropJoin(cur, i); keep(cand) {
+				cur, reduced = cand, true
+			}
+		}
+		for i := len(cur.Filters) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			cand.Filters = append(cand.Filters[:i], cand.Filters[i+1:]...)
+			if keep(cand) {
+				cur, reduced = cand, true
+			}
+		}
+		if len(cur.OrderBy) > 0 {
+			cand := cur.Clone()
+			cand.OrderBy = nil
+			if keep(cand) {
+				cur, reduced = cand, true
+			}
+		}
+		if cur.Distinct {
+			cand := cur.Clone()
+			cand.Distinct = false
+			if keep(cand) {
+				cur, reduced = cand, true
+			}
+		}
+		for i := range cur.Joins {
+			if cur.Joins[i].T2Const != "" {
+				cand := cur.Clone()
+				cand.Joins[i].T2Const = ""
+				if keep(cand) {
+					cur, reduced = cand, true
+				}
+			}
+			if cur.Joins[i].Kind == JoinWebPages && cur.Joins[i].RankLimit > 1 {
+				cand := cur.Clone()
+				cand.Joins[i].RankLimit = 1
+				if keep(cand) {
+					cur, reduced = cand, true
+				}
+			}
+		}
+		// Halve the Id range while the divergence survives.
+		for cur.IDHi > cur.IDLo {
+			cand := cur.Clone()
+			cand.IDHi = cand.IDLo + (cand.IDHi-cand.IDLo)/2
+			if !keep(cand) {
+				break
+			}
+			cur, reduced = cand, true
+		}
+		// Shrink the projection.
+		for i := len(cur.Proj) - 1; i >= 0 && len(cur.Proj) > 1; i-- {
+			cand := cur.Clone()
+			cand.Proj = append(cand.Proj[:i], cand.Proj[i+1:]...)
+			cand.OrderBy = pruneOrderBy(cand.OrderBy, cand.Proj)
+			if keep(cand) {
+				cur, reduced = cand, true
+			}
+		}
+		if !reduced {
+			return cur
+		}
+	}
+}
+
+// dropJoin removes join i and cascades: web joins bound to a removed
+// alias's columns go too, and filters, projections, and order keys
+// referencing any removed alias are pruned. An emptied projection falls
+// back to f.Id.
+func dropJoin(spec *QuerySpec, i int) *QuerySpec {
+	cand := spec.Clone()
+	removed := map[string]bool{cand.Joins[i].Alias: true}
+	cand.Joins = append(cand.Joins[:i], cand.Joins[i+1:]...)
+	for changed := true; changed; {
+		changed = false
+		for k := 0; k < len(cand.Joins); k++ {
+			j := &cand.Joins[k]
+			if j.IsWeb() && removed[aliasOf(j.BindCol)] {
+				removed[j.Alias] = true
+				cand.Joins = append(cand.Joins[:k], cand.Joins[k+1:]...)
+				changed = true
+				k--
+			}
+		}
+	}
+	var filters []Filter
+	for _, f := range cand.Filters {
+		hit := false
+		for a := range removed {
+			if f.refsAlias(a) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			filters = append(filters, f)
+		}
+	}
+	cand.Filters = filters
+	var proj []string
+	for _, p := range cand.Proj {
+		if !removed[aliasOf(p)] {
+			proj = append(proj, p)
+		}
+	}
+	if len(proj) == 0 {
+		proj = []string{"f.Id"}
+	}
+	cand.Proj = proj
+	cand.OrderBy = pruneOrderBy(cand.OrderBy, proj)
+	return cand
+}
+
+// pruneOrderBy keeps only order keys still present in the projection.
+func pruneOrderBy(keys []OrderKey, proj []string) []OrderKey {
+	var out []OrderKey
+	for _, k := range keys {
+		for _, p := range proj {
+			if p == k.Col {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Clone deep-copies a spec.
+func (s *QuerySpec) Clone() *QuerySpec {
+	c := *s
+	c.Joins = append([]Join(nil), s.Joins...)
+	c.Filters = append([]Filter(nil), s.Filters...)
+	c.Proj = append([]string(nil), s.Proj...)
+	c.OrderBy = append([]OrderKey(nil), s.OrderBy...)
+	return &c
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/async"
+	"repro/internal/core"
 	"repro/internal/search"
 )
 
@@ -114,6 +116,40 @@ func TestGoldenTable1ResultSets(t *testing.T) {
 		if d := digest(rows); d != goldenDigests[i] {
 			t.Errorf("query %d digest = %q, want %q (%d rows)\nquery: %s",
 				i, d, goldenDigests[i], len(rows), queries[i])
+		}
+	}
+}
+
+// TestGoldenTable1BatchSizes sweeps the vectorized executor's batch size
+// across the degenerate (1), misaligned (3), and wide (256) settings:
+// batch boundaries must never change the result set, so every setting
+// must reproduce the pinned golden digests exactly.
+func TestGoldenTable1BatchSizes(t *testing.T) {
+	env, err := NewEnv(Options{Dir: t.TempDir(), Latency: goldenLatency(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	queries := goldenQueries(t)
+	for _, bs := range []int{1, 3, 256} {
+		for i, q := range queries {
+			res, err := env.DB.QueryContextOpts(context.Background(), q, core.QueryOptions{BatchSize: bs})
+			if err != nil {
+				t.Fatalf("batch %d query %d: %v\nquery: %s", bs, i, err, q)
+			}
+			rows := make([]string, len(res.Rows))
+			for ri, r := range res.Rows {
+				parts := make([]string, len(r))
+				for j, v := range r {
+					parts[j] = v.String()
+				}
+				rows[ri] = strings.Join(parts, "|")
+			}
+			sort.Strings(rows)
+			if d := digest(rows); d != goldenDigests[i] {
+				t.Errorf("batch %d query %d digest = %q, want %q (%d rows)\nquery: %s",
+					bs, i, d, goldenDigests[i], len(rows), q)
+			}
 		}
 	}
 }

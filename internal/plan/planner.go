@@ -40,6 +40,11 @@ type Planner struct {
 	// DefaultRankLimit guards WebPages scans with no Rank predicate
 	// (paper default: Rank < 20).
 	DefaultRankLimit int
+	// DisableHashJoins forces every stored-stored join to the paper's
+	// nested-loop algorithm (and suppresses the semi-join rewrite). The
+	// plan-equivalence fuzzer (internal/fuzzqe) flips this to execute the
+	// same query under both join strategies and compare the results.
+	DisableHashJoins bool
 }
 
 // New builds a planner.
@@ -183,7 +188,9 @@ func (p *Planner) PlanSelect(sel *sqlparse.Select) (exec.Operator, error) {
 	// semi-join.
 	if sel.Distinct {
 		d := exec.NewDistinct(cur)
-		trySemiJoin(d)
+		if !p.DisableHashJoins {
+			trySemiJoin(d)
+		}
 		cur = d
 	}
 
@@ -307,8 +314,10 @@ func (p *Planner) addFromEntry(cur exec.Operator, sc *scope, idx int, scopes []*
 	// exact row count (WSQ's stored relations are small reference tables)
 	// gates out degenerate build sides where a hash table cannot beat
 	// re-scanning.
-	if lk, rk, residual := splitEquiKeys(preds, avail, sc.schema); len(lk) > 0 && hashBuildWorthwhile(sc.table) {
-		return exec.NewHashJoin(cur, scan, lk, rk, residual), nil
+	if !p.DisableHashJoins {
+		if lk, rk, residual := splitEquiKeys(preds, avail, sc.schema); len(lk) > 0 && hashBuildWorthwhile(sc.table) {
+			return exec.NewHashJoin(cur, scan, lk, rk, residual), nil
+		}
 	}
 	return exec.NewNestedLoopJoin(cur, scan, expr.NewAnd(preds...)), nil
 }
@@ -732,6 +741,12 @@ func (p *Planner) lowerExpr(e sqlparse.Expr, scopes []*scope) (expr.Expr, error)
 		default:
 			return nil, fmt.Errorf("unknown operator %s", n.Op)
 		}
+	case *sqlparse.IsNull:
+		inner, err := p.lowerExpr(n.E, scopes)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(inner, n.Not), nil
 	case *sqlparse.FuncCall:
 		return nil, fmt.Errorf("aggregate %s is only allowed as a top-level select item", n)
 	default:

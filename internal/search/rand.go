@@ -44,3 +44,46 @@ func (r *Rand) Duration(max time.Duration) time.Duration {
 	}
 	return time.Duration(r.Int63n(int64(max)))
 }
+
+// Intn returns a uniform value in [0, n). It delegates to the underlying
+// generator's Intn so the consumed stream is identical to an unwrapped
+// *rand.Rand — corpus generation (websim) relies on this to keep its
+// golden digests stable across the migration to the locked wrapper.
+func (r *Rand) Intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(n)
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap, consuming
+// the same stream as the underlying generator's Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rng.Shuffle(n, swap)
+}
+
+// Zipf draws Zipf-distributed values from its parent Rand's stream,
+// sharing the parent's lock. It exists because math/rand's Zipf cannot be
+// built over an interface — it needs the concrete *rand.Rand the wrapper
+// guards — and hand-rolling the rejection-inversion sampler would change
+// the consumed stream.
+type Zipf struct {
+	r *Rand
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf generator over [0, imax] with parameters s > 1
+// and v >= 1, drawing from r's stream.
+func (r *Rand) NewZipf(s, v float64, imax uint64) *Zipf {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Zipf{r: r, z: rand.NewZipf(r.rng, s, v, imax)}
+}
+
+// Uint64 returns a Zipf-distributed value.
+func (z *Zipf) Uint64() uint64 {
+	z.r.mu.Lock()
+	defer z.r.mu.Unlock()
+	return z.z.Uint64()
+}

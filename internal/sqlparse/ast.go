@@ -130,11 +130,20 @@ type FuncCall struct {
 	Args []Expr
 }
 
+// IsNull is the postfix IS [NOT] NULL predicate. Unlike comparisons
+// against a NULL literal (which follow three-valued logic and never hold),
+// it yields a definite boolean.
+type IsNull struct {
+	E   Expr
+	Not bool
+}
+
 func (*Col) expr()      {}
 func (*Lit) expr()      {}
 func (*Binary) expr()   {}
 func (*Unary) expr()    {}
 func (*FuncCall) expr() {}
+func (*IsNull) expr()   {}
 
 // String implements fmt.Stringer.
 func (c *Col) String() string {
@@ -160,6 +169,14 @@ func (b *Binary) String() string {
 // String implements fmt.Stringer.
 func (u *Unary) String() string {
 	return fmt.Sprintf("%s(%s)", u.Op, u.E)
+}
+
+// String implements fmt.Stringer.
+func (n *IsNull) String() string {
+	if n.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", n.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", n.E)
 }
 
 // String implements fmt.Stringer.

@@ -473,7 +473,7 @@ func (p *Parser) parseSelect() (*Select, error) {
 // isReservedAfterItem reports whether the current identifier is a keyword
 // that terminates an item list (so it must not be consumed as a bare alias).
 func (p *Parser) isReservedAfterItem() bool {
-	for _, kw := range [...]string{"from", "where", "group", "order", "limit", "as", "and", "or", "not", "desc", "asc", "select", "by", "union", "all"} {
+	for _, kw := range [...]string{"from", "where", "group", "order", "limit", "as", "and", "or", "not", "desc", "asc", "select", "by", "union", "all", "is", "null"} {
 		if strings.EqualFold(p.tok.Text, kw) {
 			return true
 		}
@@ -539,6 +539,22 @@ func (p *Parser) parseComparison() (Expr, error) {
 	left, err := p.parseAdditive()
 	if err != nil {
 		return nil, err
+	}
+	if p.isKeyword("is") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		not, err := p.acceptKeyword("not")
+		if err != nil {
+			return nil, err
+		}
+		if !p.isKeyword("null") {
+			return nil, p.errorf("expected NULL after IS, got %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: left, Not: not}, nil
 	}
 	if p.tok.Kind == TokOp {
 		switch p.tok.Text {

@@ -153,6 +153,25 @@ func TestParsePrecedence(t *testing.T) {
 	}
 }
 
+func TestParseIsNull(t *testing.T) {
+	sel := parseSel(t, `SELECT a FROM t WHERE a IS NULL AND t.b IS NOT NULL`)
+	if got := sel.Where.String(); got != "((a IS NULL) AND (t.b IS NOT NULL))" {
+		t.Errorf("is null: %s", got)
+	}
+	// Binds tighter than NOT, looser than arithmetic.
+	sel = parseSel(t, `SELECT a FROM t WHERE NOT a + 1 IS NULL`)
+	if got := sel.Where.String(); got != "NOT(((a + 1) IS NULL))" {
+		t.Errorf("is null precedence: %s", got)
+	}
+	// IS must be followed by [NOT] NULL.
+	if _, err := Parse(`SELECT a FROM t WHERE a IS 5`); err == nil {
+		t.Error("IS 5 should not parse")
+	}
+	if _, err := Parse(`SELECT a FROM t WHERE a IS NOT 5`); err == nil {
+		t.Error("IS NOT 5 should not parse")
+	}
+}
+
 func TestParseAggregates(t *testing.T) {
 	sel := parseSel(t, `SELECT Name, COUNT(*), SUM(Count) FROM t GROUP BY Name ORDER BY Name`)
 	if len(sel.GroupBy) != 1 {

@@ -3,13 +3,12 @@ package websim
 import (
 	"fmt"
 	"hash/fnv"
-	//lint:ignore seededrand corpus generation is single-threaded, seeded from Config.Seed, and needs rand.Zipf, which the locked search.Rand wrapper does not expose
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/datasets"
+	"repro/internal/search"
 )
 
 // TokenOcc is one token occurrence on a page: a term id and a position.
@@ -73,8 +72,8 @@ func Build(cfg Config) *Corpus {
 		dict:   make(map[string]int32),
 		urlIdx: make(map[string]int32),
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	zipf := rand.NewZipf(rng, 1.3, 1.0, fillerVocab-1)
+	rng := search.NewRand(cfg.Seed)
+	zipf := rng.NewZipf(1.3, 1.0, fillerVocab-1)
 
 	// Pre-intern filler vocabulary and every entity phrase.
 	for i := 0; i < fillerVocab; i++ {
@@ -232,12 +231,12 @@ func (c *Corpus) addPage(p Page) int32 {
 	return id
 }
 
-func randDate(rng *rand.Rand) string {
+func randDate(rng *search.Rand) string {
 	return fmt.Sprintf("1999-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))
 }
 
 // genEntityPage emits one page primarily about entity e.
-func (c *Corpus) genEntityPage(rng *rand.Rand, zipf *rand.Zipf, e entity, i int) {
+func (c *Corpus) genEntityPage(rng *search.Rand, zipf *search.Zipf, e entity, i int) {
 	length := 24 + rng.Intn(16)
 	var toks []TokenOcc
 	primary := c.dict[norm(e.term)]
@@ -306,7 +305,7 @@ func (c *Corpus) genEntityPage(rng *rand.Rand, zipf *rand.Zipf, e entity, i int)
 // configured weights exactly and the orderings the paper reports (e.g.
 // Colorado > New Mexico > Arizona > Utah for Query 3) cannot be flipped
 // by sampling noise.
-func (c *Corpus) genCorrelated(rng *rand.Rand, zipf *rand.Zipf, anchor string, n int,
+func (c *Corpus) genCorrelated(rng *search.Rand, zipf *search.Zipf, anchor string, n int,
 	sample func() (string, bool), extra func(primary string, page *[]TokenOcc, pos uint16)) {
 	anchorID := c.dict[norm(anchor)]
 	for i := 0; i < n; i++ {
@@ -339,7 +338,7 @@ func (c *Corpus) genCorrelated(rng *rand.Rand, zipf *rand.Zipf, anchor string, n
 // page; for every other entity only one engine does, which keeps the
 // AV∩Google top-5 overlap small, as the paper observed ("Google and
 // AltaVista only agreed on the relevance of 4 URLs").
-func (c *Corpus) genAuthorityPage(rng *rand.Rand, term, kind string) {
+func (c *Corpus) genAuthorityPage(rng *search.Rand, term, kind string) {
 	var url string
 	if u, ok := agreedAuthorityURLs[term]; ok {
 		url = u
@@ -407,7 +406,7 @@ func scubaCoWeightsList() []weighted {
 // proportions exactly (largest-remainder apportionment of n slots, then a
 // single shuffle). Realized co-occurrence counts therefore track the
 // configured weights deterministically, not merely in expectation.
-func newDeckSampler(rng *rand.Rand, list []weighted, noneWeight, n int) func() (string, bool) {
+func newDeckSampler(rng *search.Rand, list []weighted, noneWeight, n int) func() (string, bool) {
 	total := noneWeight
 	for _, w := range list {
 		total += w.weight
