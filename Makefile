@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test check fuzz fuzzqe-smoke bench bench-smoke table1 examples clean
+.PHONY: all build vet lint test test-race check fuzz fuzzqe-smoke bench bench-smoke table1 examples clean
 
 all: build check
 
@@ -12,24 +12,39 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-invariant static analysis (cmd/wsqlint): slot balance, context
-# flow, seeded randomness, lock scope, goroutine ownership. Exits non-zero
-# on any diagnostic; see DESIGN.md "Static invariants". The second pass
-# holds internal/obs to an exemption-free standard: the metrics/trace
-# layer must never need a context-flow waiver (DESIGN.md "Observability").
-# The third holds internal/shard (tier coordinator + cache peering) to the
-# same bar for both context flow and goroutine ownership: every peer call
-# must carry a deadline and every tier goroutine a shutdown path. The
-# fourth holds internal/exec (batch executor) exemption-free: operators
-# must never detach from the query's cancellation scope.
+# Project-invariant static analysis (cmd/wsqlint), nine rules over one
+# shared interprocedural pass: slot balance, context flow, seeded
+# randomness, lock scope, goroutine ownership, operator open/close
+# balance, batch-window aliasing, lock-order cycles, Close error
+# aggregation. Exits non-zero on any diagnostic; see DESIGN.md "Static
+# invariants". The whole internal tree is held to an exemption-free
+# standard (-no-ignore): every //lint:ignore waiver has been fixed at the
+# source, and none may return. cmd/ and examples/ run with suppression
+# honored (package main is out of scope for most rules anyway).
+#
+# LINT_BUDGET_S guards analysis latency: the suite builds its call graph
+# once and shares it across rules, so a pass over the full tree must stay
+# interactive. Exceeding the budget fails the target (and so `make
+# check`) — treat it as a performance regression in internal/lint, not as
+# a reason to raise the budget.
+LINT_BUDGET_S ?= 60
+
 lint:
-	$(GO) run ./cmd/wsqlint ./...
-	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/obs/
-	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow,goroutinectx ./internal/shard/
-	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/exec/
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/wsqlint ./... && \
+	$(GO) run ./cmd/wsqlint -no-ignore ./internal/...; status=$$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "wsqlint: $${elapsed}s (budget $(LINT_BUDGET_S)s)"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	if [ $$elapsed -gt $(LINT_BUDGET_S) ]; then \
+		echo "wsqlint exceeded its $(LINT_BUDGET_S)s latency budget"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # Full gate: vet + wsqlint + the whole suite under the race detector + a
 # fuzz smoke. The concurrency tests (shared-pump server, concurrent Exec)
@@ -38,10 +53,7 @@ test:
 # crash-freedom contracts (corpus seeds live in testdata/fuzz/).
 check:
 	$(GO) vet ./...
-	$(GO) run ./cmd/wsqlint ./...
-	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/obs/
-	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow,goroutinectx ./internal/shard/
-	$(GO) run ./cmd/wsqlint -no-ignore -rules ctxflow ./internal/exec/
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz FuzzEval -fuzztime 10s ./internal/expr

@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -64,7 +65,7 @@ func benchTemplate(b *testing.B, template int, asyncMode bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, q := range queries {
-			if _, err := env.DB.Query(q); err != nil {
+			if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -87,10 +88,10 @@ func BenchmarkTable1Template3Async(b *testing.B) { benchTemplate(b, 3, true) }
 // binding.
 func benchFigure7(b *testing.B, cacheSize int) {
 	env := newBenchEnv(b, harness.Options{CacheSize: cacheSize})
-	if _, err := env.DB.Exec(`CREATE TABLE R (V INT)`); err != nil {
+	if _, err := env.DB.ExecContext(context.Background(), `CREATE TABLE R (V INT)`); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := env.DB.Exec(`INSERT INTO R VALUES (1), (2), (3)`); err != nil {
+	if _, err := env.DB.ExecContext(context.Background(), `INSERT INTO R VALUES (1), (2), (3)`); err != nil {
 		b.Fatal(err)
 	}
 	q := `SELECT S.Name, R.V, Count FROM Sigs S, R, WebCount WHERE S.Name = T1`
@@ -100,7 +101,7 @@ func benchFigure7(b *testing.B, cacheSize int) {
 		if cacheSize > 0 {
 			env.DB.Cache().Reset()
 		}
-		if _, err := env.DB.Query(q); err != nil {
+		if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,7 +120,7 @@ func benchFigure8(b *testing.B, asyncMode bool) {
 	env.DB.SetAsync(asyncMode)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := env.DB.Query(q); err != nil {
+		if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,11 +134,11 @@ func BenchmarkFigure8Async(b *testing.B) { benchFigure8(b, true) }
 func benchCrawler(b *testing.B, asyncMode bool) {
 	env := newBenchEnv(b, harness.Options{})
 	env.DB.SetAsync(true)
-	seeds, err := env.DB.Query(`SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 1`)
+	seeds, err := env.DB.QueryContext(context.Background(), `SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 1`)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := env.DB.Exec(`CREATE TABLE Frontier (URL VARCHAR)`); err != nil {
+	if _, err := env.DB.ExecContext(context.Background(), `CREATE TABLE Frontier (URL VARCHAR)`); err != nil {
 		b.Fatal(err)
 	}
 	tab, _ := env.DB.Catalog().Get("Frontier")
@@ -148,7 +149,7 @@ func benchCrawler(b *testing.B, asyncMode bool) {
 	q := `SELECT F.URL, Status FROM Frontier F, WebFetch WHERE F.URL = WebFetch.URL`
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := env.DB.Query(q); err != nil {
+		if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,7 +168,7 @@ func BenchmarkConcurrencyLimit(b *testing.B) {
 			env.DB.SetAsync(true)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := env.DB.Query(q); err != nil {
+				if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -189,7 +190,7 @@ func BenchmarkReqSyncBuffering(b *testing.B) {
 			env.DB.SetAsync(true)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := env.DB.Query(q); err != nil {
+				if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 			}

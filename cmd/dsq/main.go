@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 	ex := dsq.New(env.DB)
 	ex.TopK = *topk
 	start := time.Now()
-	rep, err := ex.Explain(*phrase,
+	rep, err := ex.Explain(context.Background(), *phrase,
 		dsq.TermSource{Table: "States", Column: "Name"},
 		dsq.TermSource{Table: "Movies", Column: "Title"},
 	)

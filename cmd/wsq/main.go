@@ -77,15 +77,15 @@ func main() {
 		if *avURL == "" || *gURL == "" {
 			fatal(fmt.Errorf("pass both -av-url and -google-url or neither"))
 		}
-		db.RegisterEngine(search.NewClient("altavista", *avURL), "AV")
-		db.RegisterEngine(search.NewClient("google", *gURL), "G")
+		db.RegisterEngine(search.Bind(context.Background(), search.NewClient("altavista", *avURL)), "AV")
+		db.RegisterEngine(search.Bind(context.Background(), search.NewClient("google", *gURL)), "G")
 	} else {
 		corpus := websim.Default()
 		model := search.LatencyModel{Base: *latency, Jitter: *latency / 2, CountFactor: 0.8}
 		db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), model, 1), "AV")
 		db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), model, 2), "G")
 	}
-	if err := harness.LoadPaperTables(db); err != nil {
+	if err := harness.LoadPaperTables(context.Background(), db); err != nil {
 		fatal(err)
 	}
 
@@ -242,7 +242,7 @@ func command(db *core.DB, line string) bool {
 
 func runStatement(db *core.DB, sql string) error {
 	start := time.Now()
-	res, err := db.Exec(sql)
+	res, err := db.ExecContext(context.Background(), sql)
 	if err != nil {
 		return err
 	}

@@ -340,7 +340,7 @@ func table1(model search.LatencyModel, template, runs, instances int, useHTTP bo
 			continue
 		}
 		for run := 1; run <= runs; run++ {
-			r, err := harness.RunTemplate(env, tmpl, run, instances)
+			r, err := harness.RunTemplate(context.Background(), env, tmpl, run, instances)
 			if err != nil {
 				fatal(err)
 			}
@@ -388,7 +388,7 @@ func sweepConcurrency(model search.LatencyModel, instances int, useHTTP bool) {
 	fmt.Printf("%12s %14s %16s %12s\n", "limit", "sync mean (s)", "async mean (s)", "improvement")
 	for _, limit := range []int{1, 2, 4, 8, 16, 32, 64} {
 		env := newEnv(model, useHTTP, limit, limit, 0)
-		r, err := harness.RunTemplate(env, 1, 1, instances)
+		r, err := harness.RunTemplate(context.Background(), env, 1, 1, instances)
 		env.Close()
 		if err != nil {
 			fatal(err)
@@ -411,15 +411,15 @@ func sweepCaching(model search.LatencyModel, instances int, useHTTP bool) {
 	fmt.Printf("\n%8s %12s %18s %14s\n", "cache", "elapsed (s)", "calls registered", "calls started")
 	for _, cacheSize := range []int{0, 4096} {
 		env := newEnv(model, useHTTP, 0, 0, cacheSize)
-		if _, err := env.DB.Exec(`CREATE TABLE Tiny (V INT)`); err != nil {
+		if _, err := env.DB.ExecContext(context.Background(), `CREATE TABLE Tiny (V INT)`); err != nil {
 			fatal(err)
 		}
-		if _, err := env.DB.Exec(`INSERT INTO Tiny VALUES (1), (2), (3)`); err != nil {
+		if _, err := env.DB.ExecContext(context.Background(), `INSERT INTO Tiny VALUES (1), (2), (3)`); err != nil {
 			fatal(err)
 		}
 		env.DB.SetAsync(true)
 		start := time.Now()
-		if _, err := env.DB.Query(q); err != nil {
+		if _, err := env.DB.QueryContext(context.Background(), q); err != nil {
 			fatal(err)
 		}
 		elapsed := time.Since(start)

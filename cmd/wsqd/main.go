@@ -132,8 +132,8 @@ func main() {
 		if *avURL == "" || *gURL == "" {
 			fatal(fmt.Errorf("pass both -av-url and -google-url or neither"))
 		}
-		db.RegisterEngine(search.NewClient("altavista", *avURL), "AV")
-		db.RegisterEngine(search.NewClient("google", *gURL), "G")
+		db.RegisterEngine(search.Bind(context.Background(), search.NewClient("altavista", *avURL)), "AV")
+		db.RegisterEngine(search.Bind(context.Background(), search.NewClient("google", *gURL)), "G")
 	} else {
 		corpus := websim.Default()
 		model := search.LatencyModel{Base: *latency, Jitter: *latency / 2, CountFactor: 0.8}
@@ -149,7 +149,7 @@ func main() {
 		db.RegisterEngine(av, "AV")
 		db.RegisterEngine(g, "G")
 	}
-	if err := harness.LoadPaperTables(db); err != nil {
+	if err := harness.LoadPaperTables(context.Background(), db); err != nil {
 		fatal(err)
 	}
 

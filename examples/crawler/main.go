@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,7 +42,7 @@ func main() {
 	db := env.DB
 
 	// Seed the frontier with each state's top URL (one WSQ query).
-	seeds, err := db.Query(`SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 1`)
+	seeds, err := db.QueryContext(context.Background(), `SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 1`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func main() {
 // single asynchronous WSQ query over WebFetch.
 func crawlRound(db *core.DB, round int, frontier []string) (bodies []string, fetched int) {
 	table := fmt.Sprintf("Frontier%d", round)
-	if _, err := db.Exec(fmt.Sprintf(`CREATE TABLE %s (URL VARCHAR)`, table)); err != nil {
+	if _, err := db.ExecContext(context.Background(), fmt.Sprintf(`CREATE TABLE %s (URL VARCHAR)`, table)); err != nil {
 		log.Fatal(err)
 	}
 	t, _ := db.Catalog().Get(table)
@@ -87,7 +88,7 @@ func crawlRound(db *core.DB, round int, frontier []string) (bodies []string, fet
 			log.Fatal(err)
 		}
 	}
-	res, err := db.Query(fmt.Sprintf(
+	res, err := db.QueryContext(context.Background(), fmt.Sprintf(
 		`SELECT F.URL, Content, Status FROM %s F, WebFetch WHERE F.URL = WebFetch.URL`, table))
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,7 +40,7 @@ func main() {
 	ex := dsq.New(env.DB)
 	for _, phrase := range []string{"scuba diving", "four corners"} {
 		start := time.Now()
-		rep, err := ex.Explain(phrase,
+		rep, err := ex.Explain(context.Background(), phrase,
 			dsq.TermSource{Table: "States", Column: "Name"},
 			dsq.TermSource{Table: "Movies", Column: "Title"},
 		)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -40,7 +41,7 @@ func main() {
 	db.RegisterEngine(engine, "AV")
 
 	// Create and load a stored table.
-	if _, err := db.Exec(`CREATE TABLE States (Name VARCHAR, Population INT, Capital VARCHAR)`); err != nil {
+	if _, err := db.ExecContext(context.Background(), `CREATE TABLE States (Name VARCHAR, Population INT, Capital VARCHAR)`); err != nil {
 		log.Fatal(err)
 	}
 	states, _ := db.Catalog().Get("States")
@@ -54,7 +55,7 @@ func main() {
 	// iteration, so this takes ~1 round trip instead of ~50.
 	query := `SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC LIMIT 5`
 	start := time.Now()
-	res, err := db.Query(query)
+	res, err := db.QueryContext(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}

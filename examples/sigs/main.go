@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -53,7 +54,7 @@ func main() {
 
 		db.SetAsync(false)
 		start := time.Now()
-		syncRes, err := db.Query(q.sql)
+		syncRes, err := db.QueryContext(context.Background(), q.sql)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func main() {
 
 		db.SetAsync(true)
 		start = time.Now()
-		asyncRes, err := db.Query(q.sql)
+		asyncRes, err := db.QueryContext(context.Background(), q.sql)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 	for _, q := range queries {
 		fmt.Printf("=== %s ===\n", q.title)
 		start := time.Now()
-		res, err := db.Query(q.sql)
+		res, err := db.QueryContext(context.Background(), q.sql)
 		if err != nil {
 			log.Fatalf("%s: %v", q.title, err)
 		}

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,8 +21,8 @@ func BenchmarkPumpRoundTrip(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		id := p.Register("d", "k", fn)
-		if _, err := p.AwaitAny(map[types.CallID]bool{id: true}); err != nil {
+		id := p.RegisterCtx(context.Background(), "d", "k", fn)
+		if _, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true}); err != nil {
 			b.Fatal(err)
 		}
 		if _, ok := p.Take(id); !ok {
@@ -42,10 +43,10 @@ func BenchmarkPumpBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ids := make(map[types.CallID]bool, batch)
 		for j := 0; j < batch; j++ {
-			ids[p.Register("d", fmt.Sprintf("k%d", j), fn)] = true
+			ids[p.RegisterCtx(context.Background(), "d", fmt.Sprintf("k%d", j), fn)] = true
 		}
 		for len(ids) > 0 {
-			id, err := p.AwaitAny(ids)
+			id, err := p.AwaitAnyCtx(context.Background(), ids)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -110,14 +110,14 @@ func TestCoalesceAfterCompletionHitsCache(t *testing.T) {
 		}
 		return []types.Tuple{{types.Int(c)}}, nil
 	}
-	first := p.Register("counting", "count|texas", call)
-	if _, err := p.AwaitAny(map[types.CallID]bool{first: true}); err != nil {
+	first := p.RegisterCtx(context.Background(), "counting", "count|texas", call)
+	if _, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{first: true}); err != nil {
 		t.Fatal(err)
 	}
 	p.Take(first)
 	for i := 0; i < 5; i++ {
-		id := p.Register("counting", "count|texas", call)
-		if _, err := p.AwaitAny(map[types.CallID]bool{id: true}); err != nil {
+		id := p.RegisterCtx(context.Background(), "counting", "count|texas", call)
+		if _, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true}); err != nil {
 			t.Fatal(err)
 		}
 		if res, ok := p.Take(id); !ok || res.Err != nil || res.Rows[0][0].I != 7 {
@@ -176,8 +176,8 @@ func TestPumpPeerFetchServesWithoutEngine(t *testing.T) {
 	}
 
 	// Peer-resident key: no engine call, result correct, local cache warm.
-	id := p.Register("d", "hot", mk)
-	p.AwaitAny(map[types.CallID]bool{id: true})
+	id := p.RegisterCtx(context.Background(), "d", "hot", mk)
+	p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	res, _ := p.Take(id)
 	if res.Err != nil || res.Rows[0][0].I != 99 {
 		t.Fatalf("peer-served result: %+v", res)
@@ -193,8 +193,8 @@ func TestPumpPeerFetchServesWithoutEngine(t *testing.T) {
 	}
 
 	// Peer-missing key: engine executes, and the result is offered back.
-	id = p.Register("d", "cold", mk)
-	p.AwaitAny(map[types.CallID]bool{id: true})
+	id = p.RegisterCtx(context.Background(), "d", "cold", mk)
+	p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	if res, _ := p.Take(id); res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -210,8 +210,8 @@ func TestPumpPeerFetchServesWithoutEngine(t *testing.T) {
 
 	// Detach: peering must disengage cleanly.
 	p.SetCachePeer(nil)
-	id = p.Register("d", "hot2", mk)
-	p.AwaitAny(map[types.CallID]bool{id: true})
+	id = p.RegisterCtx(context.Background(), "d", "hot2", mk)
+	p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	p.Take(id)
 	peer.mu.Lock()
 	fetches := peer.fetches
@@ -231,7 +231,7 @@ func TestPumpPeerSlotAccounting(t *testing.T) {
 	peer := &peerStub{rows: map[string][]types.Tuple{"a": {{types.Int(1)}}}}
 	p.SetCachePeer(peer)
 	for i := 0; i < 3; i++ {
-		id := p.Register("d", "a", func() ([]types.Tuple, error) { return nil, fmt.Errorf("unreachable") })
+		id := p.RegisterCtx(context.Background(), "d", "a", func() ([]types.Tuple, error) { return nil, fmt.Errorf("unreachable") })
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_, err := p.AwaitAnyCtx(ctx, map[types.CallID]bool{id: true})
 		cancel()

@@ -110,6 +110,13 @@ type Pump struct {
 	// metrics holds the registry handles attached by Observe; nil until
 	// then. Read lock-free on the hot paths (several run outside p.mu).
 	metrics atomic.Pointer[pumpMetrics]
+
+	// execWG tracks every goroutine that is (or may still be) inside an
+	// engine call: the run() workers and the timeout/hedge executions
+	// attemptOnce launches. Engine calls are uninterruptible, so these
+	// goroutines cannot observe cancellation — instead they register
+	// here, and Quiesce waits for the stragglers to let go.
+	execWG sync.WaitGroup
 }
 
 type pumpCall struct {
@@ -214,20 +221,14 @@ func (p *Pump) RetryPolicy() RetryPolicy {
 	return p.policy
 }
 
-// Register enqueues an external call and returns its identifier
+// RegisterCtx enqueues an external call and returns its identifier
 // immediately; the call runs as soon as the concurrency limits allow. The
 // caller later claims the outcome with Take (typically from a ReqSync).
-//
-//lint:ignore ctxflow deliberate paper-compat synchronous shim; cancellable callers use RegisterCtx
-func (p *Pump) Register(dest, key string, fn func() ([]types.Tuple, error)) types.CallID {
-	return p.RegisterCtx(context.Background(), dest, key, fn)
-}
-
-// RegisterCtx is Register with a cancellation scope: if ctx expires while
-// the call is still queued, the call is dropped without consuming a slot
-// and completes with ctx's error. An already-running call is not
-// interrupted (the Engine interface is not context-aware), but its result
-// is discarded if its owner has abandoned it.
+// ctx is the call's cancellation scope: if it expires while the call is
+// still queued, the call is dropped without consuming a slot and
+// completes with ctx's error. An already-running call is not interrupted
+// (the Engine interface is not context-aware), but its result is
+// discarded if its owner has abandoned it. A nil ctx means no bound.
 func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]types.Tuple, error)) types.CallID {
 	if ctx == nil {
 		ctx = context.Background()
@@ -297,6 +298,7 @@ func (p *Pump) dispatchLocked() {
 		}
 		p.grabTokenLocked(c.dest)
 		p.started++
+		p.execWG.Add(1)
 		go p.run(c)
 	}
 }
@@ -333,6 +335,7 @@ func (p *Pump) settleUnstartedLocked(c *pumpCall, err error) {
 // or hedged-out) calls keep counting against the destination until the
 // engine really lets go of them.
 func (p *Pump) run(c *pumpCall) {
+	defer p.execWG.Done()
 	rows, err, fromPeer := p.fetchOrExecute(c)
 	if err == nil && !fromPeer {
 		// Locally executed result: offer it to the key's home shard so the
@@ -464,9 +467,11 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 		// not interruptible, and slot accounting requires the token to be
 		// held until the engine truly lets go — even after a timeout or a
 		// winning hedge has already answered the query. It is bounded by
-		// c.fn() returning and the buffered outcome channel.
-		//lint:ignore goroutinectx engine calls are uninterruptible; the slot token must be held until c.fn returns
+		// c.fn() returning and the buffered outcome channel, and it
+		// registers with execWG so Quiesce can await the stragglers.
+		p.execWG.Add(1)
 		go func() {
+			defer p.execWG.Done()
 			rows, err := p.timedCall(c)
 			// Send before releasing the token: anyone who observes the freed
 			// slot (the hedge branch below) is then guaranteed to also see
@@ -696,19 +701,13 @@ func (p *Pump) Take(id types.CallID) (CallResult, bool) {
 	return res, true
 }
 
-// AwaitAny blocks until at least one of the given pending calls has
+// AwaitAnyCtx blocks until at least one of the given pending calls has
 // completed and returns its id. It is the producer/consumer handshake of
-// Section 4.1: each completing pump call signals waiting ReqSyncs.
-//
-//lint:ignore ctxflow deliberate paper-compat synchronous shim; cancellable callers use AwaitAnyCtx
-func (p *Pump) AwaitAny(ids map[types.CallID]bool) (types.CallID, error) {
-	return p.AwaitAnyCtx(context.Background(), ids)
-}
-
-// AwaitAnyCtx is AwaitAny bounded by a context: it additionally wakes and
-// returns ctx's error when the context expires, so a query deadline
-// propagates to a ReqSync blocked on slow external calls. A closed pump
-// wakes waiters with ErrPumpClosed (wrapped) rather than hanging them.
+// Section 4.1: each completing pump call signals waiting ReqSyncs. The
+// wait is bounded by ctx (nil means no bound): it wakes and returns
+// ctx's error when the context expires, so a query deadline propagates
+// to a ReqSync blocked on slow external calls. A closed pump wakes
+// waiters with ErrPumpClosed (wrapped) rather than hanging them.
 func (p *Pump) AwaitAnyCtx(ctx context.Context, ids map[types.CallID]bool) (types.CallID, error) {
 	if len(ids) == 0 {
 		return 0, fmt.Errorf("AwaitAny with no pending calls")
@@ -810,6 +809,16 @@ func (p *Pump) Close() {
 		p.settleUnstartedLocked(c, fmt.Errorf("call never started: %w", ErrPumpClosed))
 	}
 	p.cond.Broadcast()
+}
+
+// Quiesce blocks until every execution goroutine — run() workers plus
+// the timeout/hedge executions that outlived their attempt — has
+// returned from its engine call and released its token. Engine calls
+// are uninterruptible, so this is the only way to know the pump has
+// truly let go of the network; call it after Close when tearing down a
+// process (a long-lived server that merely drops the pump can skip it).
+func (p *Pump) Quiesce() {
+	p.execWG.Wait()
 }
 
 // Stats reports the pump's counters.

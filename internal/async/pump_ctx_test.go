@@ -25,7 +25,7 @@ func blockingCall() (fn func() ([]types.Tuple, error), release func()) {
 func TestRegisterCtxDropsExpiredQueuedCall(t *testing.T) {
 	p := NewPump(1, 1, nil)
 	blocker, release := blockingCall()
-	first := p.Register("d", "k1", blocker)
+	first := p.RegisterCtx(context.Background(), "d", "k1", blocker)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	var ran bool
@@ -36,7 +36,7 @@ func TestRegisterCtxDropsExpiredQueuedCall(t *testing.T) {
 	cancel()
 	release() // first completes; dispatch must now drop the canceled second
 
-	id, err := p.AwaitAny(map[types.CallID]bool{second: true})
+	id, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{second: true})
 	if err != nil || id != second {
 		t.Fatalf("await second: %v %v", id, err)
 	}
@@ -47,7 +47,7 @@ func TestRegisterCtxDropsExpiredQueuedCall(t *testing.T) {
 	if ran {
 		t.Error("canceled queued call must not execute")
 	}
-	if _, err := p.AwaitAny(map[types.CallID]bool{first: true}); err != nil {
+	if _, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{first: true}); err != nil {
 		t.Fatal(err)
 	}
 	p.Take(first)
@@ -79,7 +79,7 @@ func TestAwaitAnyCtxDeadline(t *testing.T) {
 	p := NewPump(1, 1, nil)
 	blocker, release := blockingCall()
 	defer release()
-	id := p.Register("d", "k", blocker)
+	id := p.RegisterCtx(context.Background(), "d", "k", blocker)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
@@ -99,8 +99,8 @@ func TestAwaitAnyCtxDeadline(t *testing.T) {
 func TestCloseSettlesQueuedAndWakesWaiters(t *testing.T) {
 	p := NewPump(1, 1, nil)
 	blocker, release := blockingCall()
-	running := p.Register("d", "k1", blocker)
-	queued := p.Register("d", "k2", func() ([]types.Tuple, error) {
+	running := p.RegisterCtx(context.Background(), "d", "k1", blocker)
+	queued := p.RegisterCtx(context.Background(), "d", "k2", func() ([]types.Tuple, error) {
 		t.Error("queued call must not start after Close")
 		return nil, nil
 	})
@@ -108,7 +108,7 @@ func TestCloseSettlesQueuedAndWakesWaiters(t *testing.T) {
 	// A waiter blocked on the running call must wake with the sentinel.
 	woke := make(chan error, 1)
 	go func() {
-		_, err := p.AwaitAny(map[types.CallID]bool{running: true})
+		_, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{running: true})
 		woke <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -131,7 +131,7 @@ func TestCloseSettlesQueuedAndWakesWaiters(t *testing.T) {
 	}
 
 	// Registering on a closed pump errors cleanly instead of hanging.
-	late := p.Register("d", "k3", func() ([]types.Tuple, error) { return nil, nil })
+	late := p.RegisterCtx(context.Background(), "d", "k3", func() ([]types.Tuple, error) { return nil, nil })
 	res, ok = p.Take(late)
 	if !ok || !errors.Is(res.Err, ErrPumpClosed) {
 		t.Fatalf("register after Close: got %+v ok=%v, want ErrPumpClosed", res, ok)
@@ -148,21 +148,21 @@ func TestCloseSettlesQueuedAndWakesWaiters(t *testing.T) {
 func TestDiscardQueuedKeepsCoalescedSiblings(t *testing.T) {
 	p := NewPump(1, 1, &countingCache{m: make(map[string][]types.Tuple)})
 	blocker, release := blockingCall()
-	first := p.Register("d", "k1", blocker)
+	first := p.RegisterCtx(context.Background(), "d", "k1", blocker)
 
 	// Two registrations for the same key: the second coalesces onto the
 	// queued first... here both target "k2" which is queued behind k1.
-	a := p.Register("d", "k2", func() ([]types.Tuple, error) {
+	a := p.RegisterCtx(context.Background(), "d", "k2", func() ([]types.Tuple, error) {
 		return []types.Tuple{{types.Int(7)}}, nil
 	})
-	b := p.Register("d", "k2", func() ([]types.Tuple, error) {
+	b := p.RegisterCtx(context.Background(), "d", "k2", func() ([]types.Tuple, error) {
 		return []types.Tuple{{types.Int(7)}}, nil
 	})
 
 	p.Discard(a) // a abandons; b still wants the call
 	release()
 
-	id, err := p.AwaitAny(map[types.CallID]bool{b: true})
+	id, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{b: true})
 	if err != nil || id != b {
 		t.Fatalf("await b: %v %v", id, err)
 	}

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,10 +13,10 @@ import (
 
 func TestPumpBasicRegisterTake(t *testing.T) {
 	p := NewPump(4, 4, nil)
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		return []types.Tuple{{types.Int(42)}}, nil
 	})
-	got, err := p.AwaitAny(map[types.CallID]bool{id: true})
+	got, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	if err != nil || got != id {
 		t.Fatalf("await: %v %v", got, err)
 	}
@@ -35,7 +36,7 @@ func TestPumpConcurrencyOverlap(t *testing.T) {
 	const n = 20
 	ids := make(map[types.CallID]bool)
 	for i := 0; i < n; i++ {
-		id := p.Register("d", fmt.Sprintf("k%d", i), func() ([]types.Tuple, error) {
+		id := p.RegisterCtx(context.Background(), "d", fmt.Sprintf("k%d", i), func() ([]types.Tuple, error) {
 			cur := atomic.AddInt32(&active, 1)
 			for {
 				old := atomic.LoadInt32(&peak)
@@ -56,7 +57,7 @@ func TestPumpConcurrencyOverlap(t *testing.T) {
 			t.Fatal("timeout")
 		default:
 		}
-		id, err := p.AwaitAny(ids)
+		id, err := p.AwaitAnyCtx(context.Background(), ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestPumpTotalLimit(t *testing.T) {
 	var active, peak int32
 	ids := make(map[types.CallID]bool)
 	for i := 0; i < 12; i++ {
-		id := p.Register("d", fmt.Sprintf("k%d", i), func() ([]types.Tuple, error) {
+		id := p.RegisterCtx(context.Background(), "d", fmt.Sprintf("k%d", i), func() ([]types.Tuple, error) {
 			cur := atomic.AddInt32(&active, 1)
 			for {
 				old := atomic.LoadInt32(&peak)
@@ -89,7 +90,7 @@ func TestPumpTotalLimit(t *testing.T) {
 		ids[id] = true
 	}
 	for len(ids) > 0 {
-		id, err := p.AwaitAny(ids)
+		id, err := p.AwaitAnyCtx(context.Background(), ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func TestPumpPerDestinationLimit(t *testing.T) {
 	ids := make(map[types.CallID]bool)
 	var fastDone atomic.Int32
 	for i := 0; i < 3; i++ {
-		id := p.Register("slow", fmt.Sprintf("s%d", i), func() ([]types.Tuple, error) {
+		id := p.RegisterCtx(context.Background(), "slow", fmt.Sprintf("s%d", i), func() ([]types.Tuple, error) {
 			cur := atomic.AddInt32(&slowActive, 1)
 			for {
 				old := atomic.LoadInt32(&slowPeak)
@@ -130,12 +131,12 @@ func TestPumpPerDestinationLimit(t *testing.T) {
 		})
 		ids[id] = true
 	}
-	fastID := p.Register("fast", "f", func() ([]types.Tuple, error) {
+	fastID := p.RegisterCtx(context.Background(), "fast", "f", func() ([]types.Tuple, error) {
 		fastDone.Add(1)
 		return nil, nil
 	})
 	// The fast call must complete even while slow calls hold their slot.
-	if _, err := p.AwaitAny(map[types.CallID]bool{fastID: true}); err != nil {
+	if _, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{fastID: true}); err != nil {
 		t.Fatal(err)
 	}
 	if fastDone.Load() != 1 {
@@ -143,7 +144,7 @@ func TestPumpPerDestinationLimit(t *testing.T) {
 	}
 	close(release)
 	for len(ids) > 0 {
-		id, err := p.AwaitAny(ids)
+		id, err := p.AwaitAnyCtx(context.Background(), ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,11 +164,11 @@ func TestPumpCache(t *testing.T) {
 		calls.Add(1)
 		return []types.Tuple{{types.Int(1)}}, nil
 	}
-	id1 := p.Register("d", "same", fn)
-	p.AwaitAny(map[types.CallID]bool{id1: true})
+	id1 := p.RegisterCtx(context.Background(), "d", "same", fn)
+	p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id1: true})
 	p.Take(id1)
 	// Second identical call: served from cache, no new execution.
-	id2 := p.Register("d", "same", fn)
+	id2 := p.RegisterCtx(context.Background(), "d", "same", fn)
 	res, ok := p.Take(id2)
 	if !ok {
 		t.Fatal("cached call should be immediately done")
@@ -199,10 +200,10 @@ func (c *countingCache) Put(k string, rows []types.Tuple) {
 
 func TestPumpErrorPropagation(t *testing.T) {
 	p := NewPump(2, 2, nil)
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		return nil, fmt.Errorf("engine down")
 	})
-	p.AwaitAny(map[types.CallID]bool{id: true})
+	p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	res, ok := p.Take(id)
 	if !ok || res.Err == nil {
 		t.Fatal("error should surface in the result")
@@ -211,7 +212,7 @@ func TestPumpErrorPropagation(t *testing.T) {
 
 func TestPumpAwaitAnyValidation(t *testing.T) {
 	p := NewPump(2, 2, nil)
-	if _, err := p.AwaitAny(nil); err == nil {
+	if _, err := p.AwaitAnyCtx(context.Background(), nil); err == nil {
 		t.Error("await with no ids should error")
 	}
 }
@@ -219,7 +220,7 @@ func TestPumpAwaitAnyValidation(t *testing.T) {
 func TestPumpCloseWakesWaiters(t *testing.T) {
 	p := NewPump(1, 1, nil)
 	block := make(chan struct{})
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		<-block
 		return nil, nil
 	})
@@ -227,7 +228,7 @@ func TestPumpCloseWakesWaiters(t *testing.T) {
 	go func() {
 		// Wait on a call that never completes before Close.
 		fake := types.CallID(99999)
-		_, err := p.AwaitAny(map[types.CallID]bool{fake: true})
+		_, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{fake: true})
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -246,8 +247,8 @@ func TestPumpCloseWakesWaiters(t *testing.T) {
 
 func TestPumpDiscard(t *testing.T) {
 	p := NewPump(2, 2, nil)
-	id := p.Register("d", "k", func() ([]types.Tuple, error) { return nil, nil })
-	p.AwaitAny(map[types.CallID]bool{id: true})
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) { return nil, nil })
+	p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	p.Discard(id)
 	if _, ok := p.Take(id); ok {
 		t.Error("discarded result should be gone")
@@ -269,11 +270,11 @@ func TestPumpCoalescesInFlightDuplicates(t *testing.T) {
 	}
 	ids := make(map[types.CallID]bool)
 	for i := 0; i < 5; i++ {
-		ids[p.Register("d", "dup", fn)] = true
+		ids[p.RegisterCtx(context.Background(), "d", "dup", fn)] = true
 	}
 	close(release)
 	for len(ids) > 0 {
-		id, err := p.AwaitAny(ids)
+		id, err := p.AwaitAnyCtx(context.Background(), ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,10 +303,10 @@ func TestPumpNoCoalescingWithoutCache(t *testing.T) {
 	}
 	ids := make(map[types.CallID]bool)
 	for i := 0; i < 3; i++ {
-		ids[p.Register("d", "dup", fn)] = true
+		ids[p.RegisterCtx(context.Background(), "d", "dup", fn)] = true
 	}
 	for len(ids) > 0 {
-		id, err := p.AwaitAny(ids)
+		id, err := p.AwaitAnyCtx(context.Background(), ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -338,11 +339,11 @@ func TestPumpPerDestinationOverride(t *testing.T) {
 	}
 	ids := make(map[types.CallID]bool)
 	for i := 0; i < 4; i++ {
-		ids[p.Register("throttled", fmt.Sprintf("t%d", i), track(&thrActive, &thrPeak, 5*time.Millisecond))] = true
-		ids[p.Register("free", fmt.Sprintf("f%d", i), track(&freeActive, &freePeak, 5*time.Millisecond))] = true
+		ids[p.RegisterCtx(context.Background(), "throttled", fmt.Sprintf("t%d", i), track(&thrActive, &thrPeak, 5*time.Millisecond))] = true
+		ids[p.RegisterCtx(context.Background(), "free", fmt.Sprintf("f%d", i), track(&freeActive, &freePeak, 5*time.Millisecond))] = true
 	}
 	for len(ids) > 0 {
-		id, err := p.AwaitAny(ids)
+		id, err := p.AwaitAnyCtx(context.Background(), ids)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -361,7 +362,7 @@ func TestPumpRaisingLimitReleasesQueue(t *testing.T) {
 	p := NewPump(8, 8, nil)
 	p.SetDestLimit("d", 0) // park everything
 	done := make(chan struct{}, 1)
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		done <- struct{}{}
 		return nil, nil
 	})
@@ -371,7 +372,7 @@ func TestPumpRaisingLimitReleasesQueue(t *testing.T) {
 	case <-time.After(20 * time.Millisecond):
 	}
 	p.SetDestLimit("d", 1)
-	if _, err := p.AwaitAny(map[types.CallID]bool{id: true}); err != nil {
+	if _, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true}); err != nil {
 		t.Fatal(err)
 	}
 	<-done

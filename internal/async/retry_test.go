@@ -1,6 +1,7 @@
 package async
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -20,7 +21,7 @@ func (e transientErr) Transient() bool { return true }
 // await runs one registered call to completion and returns its outcome.
 func await(t *testing.T, p *Pump, id types.CallID) CallResult {
 	t.Helper()
-	got, err := p.AwaitAny(map[types.CallID]bool{id: true})
+	got, err := p.AwaitAnyCtx(context.Background(), map[types.CallID]bool{id: true})
 	if err != nil {
 		t.Fatalf("AwaitAny: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestRetryMasksTransientFailures(t *testing.T) {
 	p.SetRetryPolicy(RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond})
 	var mu sync.Mutex
 	calls := 0
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		calls++
@@ -66,7 +67,7 @@ func TestHardErrorNotRetried(t *testing.T) {
 	p.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond})
 	var mu sync.Mutex
 	calls := 0
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		calls++
@@ -89,7 +90,7 @@ func TestHardErrorNotRetried(t *testing.T) {
 func TestRetryExhaustionReportsAttempts(t *testing.T) {
 	p := NewPump(4, 4, nil)
 	p.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		return nil, transientErr{"still down"}
 	})
 	res := await(t, p, id)
@@ -114,7 +115,7 @@ func TestCallTimeoutAbandonsStalledAttempt(t *testing.T) {
 	var mu sync.Mutex
 	calls := 0
 	release := make(chan struct{})
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		mu.Lock()
 		calls++
 		n := calls
@@ -164,7 +165,7 @@ func TestCallTimeoutExhaustionIsTransientError(t *testing.T) {
 	p.SetRetryPolicy(RetryPolicy{MaxAttempts: 1, CallTimeout: 10 * time.Millisecond})
 	release := make(chan struct{})
 	defer close(release)
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		<-release
 		return nil, nil
 	})
@@ -184,7 +185,7 @@ func TestHedgeWinsAgainstSlowPrimary(t *testing.T) {
 	calls := 0
 	release := make(chan struct{})
 	defer close(release)
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		mu.Lock()
 		calls++
 		n := calls
@@ -214,7 +215,7 @@ func TestHedgeRespectsDestinationLimit(t *testing.T) {
 	p.SetRetryPolicy(RetryPolicy{MaxAttempts: 1, HedgeAfter: 5 * time.Millisecond, MaxHedges: 1})
 	var mu sync.Mutex
 	calls := 0
-	id := p.Register("d", "k", func() ([]types.Tuple, error) {
+	id := p.RegisterCtx(context.Background(), "d", "k", func() ([]types.Tuple, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -243,7 +244,7 @@ func TestRetryBackoffReleasesSlotForOtherCalls(t *testing.T) {
 	bDone := make(chan time.Time, 1)
 	var aFirstFail time.Time
 	var mu sync.Mutex
-	idA := p.Register("d", "a", func() ([]types.Tuple, error) {
+	idA := p.RegisterCtx(context.Background(), "d", "a", func() ([]types.Tuple, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if aFirstFail.IsZero() {
@@ -252,7 +253,7 @@ func TestRetryBackoffReleasesSlotForOtherCalls(t *testing.T) {
 		}
 		return []types.Tuple{{types.Int(1)}}, nil
 	})
-	idB := p.Register("d", "b", func() ([]types.Tuple, error) {
+	idB := p.RegisterCtx(context.Background(), "d", "b", func() ([]types.Tuple, error) {
 		bDone <- time.Now()
 		return []types.Tuple{{types.Int(2)}}, nil
 	})

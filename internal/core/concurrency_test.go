@@ -76,7 +76,7 @@ func TestConcurrentExecSharesPump(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 20; i++ {
-			if _, err := db.Exec(fmt.Sprintf(`INSERT INTO Scratch VALUES (%d)`, i)); err != nil {
+			if _, err := db.ExecContext(context.Background(), fmt.Sprintf(`INSERT INTO Scratch VALUES (%d)`, i)); err != nil {
 				errs <- fmt.Errorf("writer: %w", err)
 				return
 			}

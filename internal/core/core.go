@@ -204,13 +204,6 @@ type QueryOptions struct {
 	BatchSize int
 }
 
-// Exec parses and executes one SQL statement with no deadline.
-//
-//lint:ignore ctxflow deliberate synchronous convenience wrapper; bounded callers use ExecContext
-func (db *DB) Exec(sql string) (*Result, error) {
-	return db.ExecContext(context.Background(), sql)
-}
-
 // ExecContext parses and executes one SQL statement under ctx: deadline
 // expiry or cancellation aborts execution, dropping any external calls the
 // statement still has queued in the request pump.
@@ -218,8 +211,12 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	return db.ExecContextOpts(ctx, sql, QueryOptions{})
 }
 
-// ExecContextOpts is ExecContext with per-statement options.
+// ExecContextOpts is ExecContext with per-statement options. A nil ctx
+// means no deadline.
 func (db *DB) ExecContextOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rest, ok := stripExplainAnalyze(sql); ok {
 		return db.explainAnalyze(ctx, rest, opts)
 	}
@@ -252,21 +249,18 @@ func (db *DB) ExecContextOpts(ctx context.Context, sql string, opts QueryOptions
 	}
 }
 
-// Query executes a SELECT (or UNION of SELECTs) with no deadline.
-//
-//lint:ignore ctxflow deliberate synchronous convenience wrapper; bounded callers use QueryContext
-func (db *DB) Query(sql string) (*Result, error) {
-	return db.QueryContext(context.Background(), sql)
-}
-
 // QueryContext executes a SELECT (or UNION of SELECTs) under ctx.
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	return db.QueryContextOpts(ctx, sql, QueryOptions{})
 }
 
 // QueryContextOpts is QueryContext with per-statement options (e.g. the
-// degradation policy wsqd threads through from the client request).
+// degradation policy wsqd threads through from the client request). A
+// nil ctx means no deadline.
 func (db *DB) QueryContextOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rest, ok := stripExplainAnalyze(sql); ok {
 		return db.explainAnalyze(ctx, rest, opts)
 	}

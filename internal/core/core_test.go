@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -55,7 +56,7 @@ func loadTables(t testing.TB, db *DB) {
 
 func mustExec(t testing.TB, db *DB, sql string) *Result {
 	t.Helper()
-	res, err := db.Exec(sql)
+	res, err := db.ExecContext(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("%s: %v", sql, err)
 	}
@@ -64,7 +65,7 @@ func mustExec(t testing.TB, db *DB, sql string) *Result {
 
 func mustQuery(t testing.TB, db *DB, sql string) *Result {
 	t.Helper()
-	res, err := db.Query(sql)
+	res, err := db.QueryContext(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("%s: %v", sql, err)
 	}
@@ -87,14 +88,14 @@ func TestCreateInsertSelect(t *testing.T) {
 		t.Errorf("rows: %v", res.Rows)
 	}
 	mustExec(t, db, `DROP TABLE T`)
-	if _, err := db.Query(`SELECT * FROM T`); err == nil {
+	if _, err := db.QueryContext(context.Background(), `SELECT * FROM T`); err == nil {
 		t.Error("dropped table still queryable")
 	}
 }
 
 func TestCreateReservedNameRejected(t *testing.T) {
 	db := newPaperDB(t, Config{})
-	if _, err := db.Exec(`CREATE TABLE WebCount (X INT)`); err == nil {
+	if _, err := db.ExecContext(context.Background(), `CREATE TABLE WebCount (X INT)`); err == nil {
 		t.Error("virtual table names are reserved")
 	}
 }
@@ -400,7 +401,7 @@ func TestExecErrors(t *testing.T) {
 		`SELECT Name FROM States WHERE Ghost = 1`,
 		`DROP TABLE Missing`,
 	} {
-		if _, err := db.Exec(sql); err == nil {
+		if _, err := db.ExecContext(context.Background(), sql); err == nil {
 			t.Errorf("%s should error", sql)
 		}
 	}
@@ -414,7 +415,7 @@ func TestNoEnginesRegistered(t *testing.T) {
 	defer db.Close()
 	mustExec(t, db, `CREATE TABLE T (A VARCHAR)`)
 	mustExec(t, db, `INSERT INTO T VALUES ('x')`)
-	if _, err := db.Query(`SELECT Count FROM T, WebCount WHERE A = T1`); err == nil {
+	if _, err := db.QueryContext(context.Background(), `SELECT Count FROM T, WebCount WHERE A = T1`); err == nil {
 		t.Error("virtual table without engines should error")
 	}
 }
@@ -470,11 +471,11 @@ func TestUnionAllAndDistinct(t *testing.T) {
 		t.Fatalf("UNION rows: %d", len(res.Rows))
 	}
 	// Mixed column counts are rejected.
-	if _, err := db.Query(`SELECT Name FROM Sigs UNION SELECT Name, Population FROM States`); err == nil {
+	if _, err := db.QueryContext(context.Background(), `SELECT Name FROM Sigs UNION SELECT Name, Population FROM States`); err == nil {
 		t.Error("arity mismatch should error")
 	}
 	// ORDER BY/LIMIT allowed only on the final term.
-	if _, err := db.Query(`SELECT Name FROM Sigs ORDER BY Name UNION SELECT Name FROM CSFields`); err == nil {
+	if _, err := db.QueryContext(context.Background(), `SELECT Name FROM Sigs ORDER BY Name UNION SELECT Name FROM CSFields`); err == nil {
 		t.Error("ORDER BY on non-final term should error")
 	}
 }
@@ -548,5 +549,21 @@ func TestUnionOrderByAppliesToWhole(t *testing.T) {
 		if res.Rows[i-1][1].Compare(res.Rows[i][1]) < 0 {
 			t.Errorf("order: %v", res.Rows)
 		}
+	}
+}
+
+// A nil context selects the no-deadline default at every entry point —
+// the replacement for the removed context-free Exec/Query wrappers.
+func TestNilContextDefaults(t *testing.T) {
+	db := newPaperDB(t, Config{})
+	if _, err := db.ExecContext(nil, `CREATE TABLE NilCtx (V INT)`); err != nil {
+		t.Fatalf("ExecContext(nil): %v", err)
+	}
+	if _, err := db.ExecContext(nil, `INSERT INTO NilCtx VALUES (7)`); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	res, err := db.QueryContext(nil, `SELECT V FROM NilCtx`)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+		t.Fatalf("QueryContext(nil): %+v %v", res, err)
 	}
 }

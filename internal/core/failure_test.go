@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -71,7 +72,7 @@ func newFlakyDB(t *testing.T, failEvery int64) (*DB, *flakyEngine) {
 
 func TestAsyncQueryFailsCleanlyOnEngineError(t *testing.T) {
 	db, _ := newFlakyDB(t, 10) // every 10th call fails
-	_, err := db.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1`)
+	_, err := db.QueryContext(context.Background(), `SELECT Name, Count FROM States, WebCount WHERE Name = T1`)
 	if err == nil {
 		t.Fatal("engine failure must surface as a query error")
 	}
@@ -84,11 +85,11 @@ func TestPumpSurvivesFailedQuery(t *testing.T) {
 	// After a failed query, abandoned in-flight calls must not wedge the
 	// pump; the next query over a healthy path succeeds.
 	db, fe := newFlakyDB(t, 25)
-	if _, err := db.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1`); err == nil {
+	if _, err := db.QueryContext(context.Background(), `SELECT Name, Count FROM States, WebCount WHERE Name = T1`); err == nil {
 		t.Fatal("expected failure")
 	}
 	fe.failEvery = 0 // heal the engine
-	res, err := db.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1`)
+	res, err := db.QueryContext(context.Background(), `SELECT Name, Count FROM States, WebCount WHERE Name = T1`)
 	if err != nil {
 		t.Fatalf("query after failure: %v", err)
 	}
@@ -100,7 +101,7 @@ func TestPumpSurvivesFailedQuery(t *testing.T) {
 func TestSyncQueryFailsCleanlyToo(t *testing.T) {
 	db, _ := newFlakyDB(t, 5)
 	db.SetAsync(false)
-	if _, err := db.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1`); err == nil {
+	if _, err := db.QueryContext(context.Background(), `SELECT Name, Count FROM States, WebCount WHERE Name = T1`); err == nil {
 		t.Fatal("sync engine failure must surface")
 	}
 }

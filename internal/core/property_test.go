@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -46,7 +47,7 @@ func TestPropertySyncAsyncEquivalence(t *testing.T) {
 func multisetOf(t *testing.T, db *DB, q string, async bool) []string {
 	t.Helper()
 	db.SetAsync(async)
-	res, err := db.Query(q)
+	res, err := db.QueryContext(context.Background(), q)
 	if err != nil {
 		t.Fatalf("%s (async=%v): %v", q, async, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,7 +23,7 @@ func newTestDB(t testing.TB, async bool) *DB {
 	corpus := websim.Default()
 	db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), search.ZeroLatency(), 1), "AV")
 	db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), search.ZeroLatency(), 2), "G")
-	if _, err := db.Exec(`CREATE TABLE States (Name VARCHAR, Population INT, Capital VARCHAR)`); err != nil {
+	if _, err := db.ExecContext(context.Background(), `CREATE TABLE States (Name VARCHAR, Population INT, Capital VARCHAR)`); err != nil {
 		t.Fatal(err)
 	}
 	tab, _ := db.Catalog().Get("States")
@@ -38,7 +39,7 @@ func TestSmokeQuery1(t *testing.T) {
 	for _, async := range []bool{false, true} {
 		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
 			db := newTestDB(t, async)
-			res, err := db.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`)
+			res, err := db.QueryContext(context.Background(), `SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -147,7 +147,7 @@ func TestTraceSyncEVScan(t *testing.T) {
 // span tree as rows, through the ordinary query entry points.
 func TestExplainAnalyzeSQL(t *testing.T) {
 	db := newPaperDB(t, Config{Async: true})
-	res, err := db.Query("explain analyze " + tracePagesQuery)
+	res, err := db.QueryContext(context.Background(), "explain analyze "+tracePagesQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +169,10 @@ func TestExplainAnalyzeSQL(t *testing.T) {
 	}
 	// Not a valid prefix: EXPLAIN without ANALYZE stays a parse error,
 	// and a non-query statement is rejected.
-	if _, err := db.Query("EXPLAIN ANALYZE"); err == nil {
+	if _, err := db.QueryContext(context.Background(), "EXPLAIN ANALYZE"); err == nil {
 		t.Error("bare EXPLAIN ANALYZE should fail")
 	}
-	if _, err := db.Exec("EXPLAIN ANALYZE CREATE TABLE X (A INT)"); err == nil {
+	if _, err := db.ExecContext(context.Background(), "EXPLAIN ANALYZE CREATE TABLE X (A INT)"); err == nil {
 		t.Error("EXPLAIN ANALYZE of DDL should fail")
 	}
 }

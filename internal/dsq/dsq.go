@@ -11,6 +11,7 @@
 package dsq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,21 +62,23 @@ func New(db *core.DB) *Explainer {
 }
 
 // Explain correlates the phrase with every term source, then with pairs of
-// top terms across the first two sources.
-func (e *Explainer) Explain(phrase string, sources ...TermSource) (*Report, error) {
+// top terms across the first two sources. Every generated WSQ query runs
+// under ctx, so a deadline or cancellation aborts the whole report,
+// including the many WebCount calls in flight.
+func (e *Explainer) Explain(ctx context.Context, phrase string, sources ...TermSource) (*Report, error) {
 	if strings.ContainsAny(phrase, "'") {
 		return nil, fmt.Errorf("phrase must not contain quotes")
 	}
 	rep := &Report{Phrase: phrase, Singles: make(map[string][]Correlation)}
 	for _, src := range sources {
-		ranked, err := e.correlateSingle(phrase, src)
+		ranked, err := e.correlateSingle(ctx, phrase, src)
 		if err != nil {
 			return nil, fmt.Errorf("correlate %s: %w", src.Label(), err)
 		}
 		rep.Singles[src.Label()] = ranked
 	}
 	if len(sources) >= 2 {
-		pairs, err := e.correlatePairs(phrase, sources[0], sources[1], rep)
+		pairs, err := e.correlatePairs(ctx, phrase, sources[0], sources[1], rep)
 		if err != nil {
 			return nil, err
 		}
@@ -89,11 +92,11 @@ func (e *Explainer) Explain(phrase string, sources ...TermSource) (*Report, erro
 //
 //	SELECT <col>, Count FROM <table>, WebCount
 //	WHERE <col> = T1 AND T2 = '<phrase>' ORDER BY Count DESC
-func (e *Explainer) correlateSingle(phrase string, src TermSource) ([]Correlation, error) {
+func (e *Explainer) correlateSingle(ctx context.Context, phrase string, src TermSource) ([]Correlation, error) {
 	q := fmt.Sprintf(
 		`SELECT %s, Count FROM %s, WebCount WHERE %s = T1 AND T2 = '%s' ORDER BY Count DESC`,
 		src.Column, src.Table, src.Column, phrase)
-	res, err := e.DB.Query(q)
+	res, err := e.DB.QueryContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +122,7 @@ func (e *Explainer) correlateSingle(phrase string, src TermSource) ([]Correlatio
 //
 // Seeding with each source's top-K single terms keeps the number of Web
 // calls linear in K².
-func (e *Explainer) correlatePairs(phrase string, a, b TermSource, rep *Report) ([]Correlation, error) {
+func (e *Explainer) correlatePairs(ctx context.Context, phrase string, a, b TermSource, rep *Report) ([]Correlation, error) {
 	topA := topTerms(rep.Singles[a.Label()], e.TopK)
 	topB := topTerms(rep.Singles[b.Label()], e.TopK)
 	if len(topA) == 0 || len(topB) == 0 {
@@ -127,19 +130,19 @@ func (e *Explainer) correlatePairs(phrase string, a, b TermSource, rep *Report) 
 	}
 	// Stage the seed terms in a scratch pair of tables so the pair search
 	// remains a single WSQ query (and thus one concurrent async batch).
-	if err := e.stageSeeds("dsq_seed_a", topA); err != nil {
+	if err := e.stageSeeds(ctx, "dsq_seed_a", topA); err != nil {
 		return nil, err
 	}
-	defer e.DB.Exec(`DROP TABLE dsq_seed_a`)
-	if err := e.stageSeeds("dsq_seed_b", topB); err != nil {
+	defer e.dropSeeds(ctx, "dsq_seed_a")
+	if err := e.stageSeeds(ctx, "dsq_seed_b", topB); err != nil {
 		return nil, err
 	}
-	defer e.DB.Exec(`DROP TABLE dsq_seed_b`)
+	defer e.dropSeeds(ctx, "dsq_seed_b")
 
 	q := fmt.Sprintf(
 		`SELECT A.Term, B.Term, Count FROM dsq_seed_a A, dsq_seed_b B, WebCount
 		 WHERE A.Term = T1 AND B.Term = T2 AND T3 = '%s' ORDER BY Count DESC`, phrase)
-	res, err := e.DB.Query(q)
+	res, err := e.DB.QueryContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -158,9 +161,9 @@ func (e *Explainer) correlatePairs(phrase string, a, b TermSource, rep *Report) 
 	return out, nil
 }
 
-func (e *Explainer) stageSeeds(table string, terms []string) error {
-	e.DB.Exec(`DROP TABLE ` + table) // ignore "does not exist"
-	if _, err := e.DB.Exec(`CREATE TABLE ` + table + ` (Term VARCHAR)`); err != nil {
+func (e *Explainer) stageSeeds(ctx context.Context, table string, terms []string) error {
+	e.dropSeeds(ctx, table) // ignore "does not exist"
+	if _, err := e.DB.ExecContext(ctx, `CREATE TABLE `+table+` (Term VARCHAR)`); err != nil {
 		return err
 	}
 	t, _ := e.DB.Catalog().Get(table)
@@ -170,6 +173,12 @@ func (e *Explainer) stageSeeds(table string, terms []string) error {
 		}
 	}
 	return nil
+}
+
+// dropSeeds removes a scratch seed table, ignoring errors (the table may
+// never have been created when staging failed midway).
+func (e *Explainer) dropSeeds(ctx context.Context, table string) {
+	_, _ = e.DB.ExecContext(ctx, `DROP TABLE `+table)
 }
 
 func topTerms(ranked []Correlation, k int) []string {

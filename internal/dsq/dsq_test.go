@@ -1,6 +1,7 @@
 package dsq
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func newDB(t *testing.T) *core.DB {
 func TestDSQScubaCorrelation(t *testing.T) {
 	db := newDB(t)
 	ex := New(db)
-	rep, err := ex.Explain("scuba diving",
+	rep, err := ex.Explain(context.Background(), "scuba diving",
 		TermSource{Table: "States", Column: "Name"},
 		TermSource{Table: "Movies", Column: "Title"})
 	if err != nil {
@@ -77,7 +78,7 @@ func TestDSQScubaCorrelation(t *testing.T) {
 func TestDSQSingleSource(t *testing.T) {
 	db := newDB(t)
 	ex := New(db)
-	rep, err := ex.Explain("four corners", TermSource{Table: "States", Column: "Name"})
+	rep, err := ex.Explain(context.Background(), "four corners", TermSource{Table: "States", Column: "Name"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestDSQSingleSource(t *testing.T) {
 func TestDSQSeedTablesCleanedUp(t *testing.T) {
 	db := newDB(t)
 	ex := New(db)
-	if _, err := ex.Explain("scuba diving",
+	if _, err := ex.Explain(context.Background(), "scuba diving",
 		TermSource{Table: "States", Column: "Name"},
 		TermSource{Table: "Movies", Column: "Title"}); err != nil {
 		t.Fatal(err)
@@ -108,10 +109,10 @@ func TestDSQSeedTablesCleanedUp(t *testing.T) {
 func TestDSQValidation(t *testing.T) {
 	db := newDB(t)
 	ex := New(db)
-	if _, err := ex.Explain("bad'phrase", TermSource{Table: "States", Column: "Name"}); err == nil {
+	if _, err := ex.Explain(context.Background(), "bad'phrase", TermSource{Table: "States", Column: "Name"}); err == nil {
 		t.Error("quoted phrase should be rejected")
 	}
-	if _, err := ex.Explain("x", TermSource{Table: "Missing", Column: "Name"}); err == nil {
+	if _, err := ex.Explain(context.Background(), "x", TermSource{Table: "Missing", Column: "Name"}); err == nil {
 		t.Error("unknown table should error")
 	}
 }
@@ -129,5 +130,19 @@ func TestReportFormat(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("format missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// A canceled context must abort the report before (or during) its WSQ
+// queries — regression for the ctx-less Explain that ran every WebCount
+// call to completion regardless of the caller's deadline.
+func TestDSQExplainHonorsCancellation(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ex.Explain(ctx, "scuba diving",
+		TermSource{Table: "States", Column: "Name"}); err == nil {
+		t.Fatal("canceled Explain should error")
 	}
 }

@@ -56,7 +56,7 @@ func goldenQueries(t *testing.T) []string {
 // engine's row order for unordered queries is not part of the contract).
 func resultSet(t *testing.T, env *Env, q string) []string {
 	t.Helper()
-	res, err := env.DB.Query(q)
+	res, err := env.DB.QueryContext(context.Background(), q)
 	if err != nil {
 		t.Fatalf("%s: %v", q, err)
 	}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -24,6 +25,12 @@ import (
 
 // Options configures an experiment environment.
 type Options struct {
+	// Ctx bounds the lifetime of the environment's outbound HTTP engine
+	// requests (Options.HTTP mode): cancel it to abort whatever calls are
+	// still in flight at teardown. Nil leaves them bounded only by the
+	// client's own timeout. It is not a per-query deadline — queries get
+	// their own contexts via QueryContext.
+	Ctx context.Context
 	// Dir is the database directory (a temp dir from the caller).
 	Dir string
 	// Latency is the simulated per-request search latency.
@@ -119,14 +126,14 @@ func NewEnv(opts Options) (*Env, error) {
 			return nil, err
 		}
 		env.servers = []*http.Server{avSrv, gSrv}
-		db.RegisterEngine(search.NewClient("altavista", avURL), "AV")
-		db.RegisterEngine(search.NewClient("google", gURL), "G")
+		db.RegisterEngine(search.Bind(opts.Ctx, search.NewClient("altavista", avURL)), "AV")
+		db.RegisterEngine(search.Bind(opts.Ctx, search.NewClient("google", gURL)), "G")
 	} else {
 		db.RegisterEngine(avEngine, "AV")
 		db.RegisterEngine(gEngine, "G")
 	}
 
-	if err := LoadPaperTables(db); err != nil {
+	if err := LoadPaperTables(opts.Ctx, db); err != nil {
 		env.Close()
 		return nil, err
 	}
@@ -170,8 +177,9 @@ func (e *Env) ResetBetweenRuns() {
 	}
 }
 
-// LoadPaperTables creates and fills the paper's stored tables.
-func LoadPaperTables(db *core.DB) error {
+// LoadPaperTables creates and fills the paper's stored tables. The DDL
+// runs under ctx (nil means unbounded).
+func LoadPaperTables(ctx context.Context, db *core.DB) error {
 	type load struct {
 		ddl  string
 		name string
@@ -207,7 +215,7 @@ func LoadPaperTables(db *core.DB) error {
 		if _, ok := db.Catalog().Get(l.name); ok {
 			continue
 		}
-		if _, err := db.Exec(l.ddl); err != nil {
+		if _, err := db.ExecContext(ctx, l.ddl); err != nil {
 			return err
 		}
 		t, _ := db.Catalog().Get(l.name)
@@ -282,9 +290,9 @@ func TemplateQueries(n, run, instances int) ([]string, error) {
 // ---------------------------------------------------------------------------
 // Timing
 
-// TimedRun executes the queries in the given mode and returns the mean
-// per-query wall time.
-func TimedRun(env *Env, queries []string, async bool) (time.Duration, error) {
+// TimedRun executes the queries in the given mode under ctx and returns
+// the mean per-query wall time.
+func TimedRun(ctx context.Context, env *Env, queries []string, async bool) (time.Duration, error) {
 	env.DB.SetAsync(async)
 	env.ResetBetweenRuns()
 	hist := env.SyncLatency
@@ -294,7 +302,7 @@ func TimedRun(env *Env, queries []string, async bool) (time.Duration, error) {
 	var total time.Duration
 	for _, q := range queries {
 		start := time.Now()
-		if _, err := env.DB.Query(q); err != nil {
+		if _, err := env.DB.QueryContext(ctx, q); err != nil {
 			return 0, fmt.Errorf("%s: %w", firstLine(q), err)
 		}
 		d := time.Since(start)
@@ -328,19 +336,19 @@ type RunResult struct {
 // then synchronous, as the paper did ("after timing all queries using
 // asynchronous iteration, we ... timed all queries using the standard
 // query processor").
-func RunTemplate(env *Env, template, run, instances int) (RunResult, error) {
+func RunTemplate(ctx context.Context, env *Env, template, run, instances int) (RunResult, error) {
 	queries, err := TemplateQueries(template, run, instances)
 	if err != nil {
 		return RunResult{}, err
 	}
-	asyncMean, err := TimedRun(env, queries, true)
+	asyncMean, err := TimedRun(ctx, env, queries, true)
 	if err != nil {
 		return RunResult{}, err
 	}
 	_, avMax := env.AV.Stats()
 	_, gMax := env.Google.Stats()
 	maxConc := avMax + gMax
-	syncMean, err := TimedRun(env, queries, false)
+	syncMean, err := TimedRun(ctx, env, queries, false)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -356,11 +364,11 @@ func RunTemplate(env *Env, template, run, instances int) (RunResult, error) {
 }
 
 // Table1 runs the full experiment: three templates × two runs.
-func Table1(env *Env, instances int) ([]RunResult, error) {
+func Table1(ctx context.Context, env *Env, instances int) ([]RunResult, error) {
 	var out []RunResult
 	for tmpl := 1; tmpl <= 3; tmpl++ {
 		for run := 1; run <= 2; run++ {
-			r, err := RunTemplate(env, tmpl, run, instances)
+			r, err := RunTemplate(ctx, env, tmpl, run, instances)
 			if err != nil {
 				return nil, err
 			}

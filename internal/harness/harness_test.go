@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func newTestEnv(t *testing.T, opts Options) *Env {
 func TestEnvLoadsPaperTables(t *testing.T) {
 	env := newTestEnv(t, Options{Latency: search.ZeroLatency()})
 	for table, want := range map[string]int{"States": 50, "Sigs": 37, "CSFields": 15, "Movies": 25} {
-		res, err := env.DB.Query(`SELECT COUNT(*) FROM ` + table)
+		res, err := env.DB.QueryContext(context.Background(), `SELECT COUNT(*) FROM `+table)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func TestTemplateQueriesExecute(t *testing.T) {
 	for n := 1; n <= 3; n++ {
 		qs, _ := TemplateQueries(n, 1, 1)
 		env.DB.SetAsync(true)
-		res, err := env.DB.Query(qs[0])
+		res, err := env.DB.QueryContext(context.Background(), qs[0])
 		if err != nil {
 			t.Fatalf("template %d: %v", n, err)
 		}
@@ -97,7 +98,7 @@ func TestRunTemplateImprovement(t *testing.T) {
 	env := newTestEnv(t, Options{
 		Latency: search.LatencyModel{Base: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, CountFactor: 0.8},
 	})
-	r, err := RunTemplate(env, 1, 1, 2)
+	r, err := RunTemplate(context.Background(), env, 1, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFormatTable1(t *testing.T) {
 
 func TestHTTPEnvironment(t *testing.T) {
 	env := newTestEnv(t, Options{Latency: search.ZeroLatency(), HTTP: true})
-	res, err := env.DB.Query(`SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`)
+	res, err := env.DB.QueryContext(context.Background(), `SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestHTTPEnvironment(t *testing.T) {
 
 func TestResetBetweenRuns(t *testing.T) {
 	env := newTestEnv(t, Options{Latency: search.ZeroLatency(), CacheSize: 128})
-	env.DB.Query(`SELECT Count FROM WebCount WHERE T1 = 'California'`)
+	env.DB.QueryContext(context.Background(), `SELECT Count FROM WebCount WHERE T1 = 'California'`)
 	env.ResetBetweenRuns()
 	if reg := env.DB.Pump().Stats().Registered; reg != 0 {
 		t.Error("pump stats not reset")

@@ -1,0 +1,625 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// closeBalance statically catches the half-open operator-subtree leak
+// class that PR 7's lifecycle harness found at runtime.
+//
+// The executor's contract: exec.Run joins op.Close() into every error
+// path, so an operator whose Close unconditionally closes its children
+// is safe no matter where its Open fails. But operators that gate Close
+// on an "opened" flag —
+//
+//	func (j *HashJoin) Close() error {
+//	    if !j.opened { return nil }
+//	    ...
+//	}
+//
+// — disable that safety net for every Open path that runs before the
+// flag is set. On such a path, any child already opened must be closed
+// explicitly (`return errors.Join(err, j.Left.Close())`), or the whole
+// left subtree leaks: its pump registrations, cache pins and goroutines
+// stay live with nothing left pointing at them. A success return that
+// never sets the flag is the same leak with no error to blame.
+//
+// The rule finds every receiver type whose Close is guarded by an
+// early-return on a boolean field, then abstractly interprets that
+// type's Open: children successfully opened so far form the state, and
+// every return reached before the guard field is set must close all of
+// them on that path. Helper methods on the same receiver participate
+// through summaries — a helper's success-exit open set and guard effect
+// are applied at its call site, and the helper's own error paths are
+// checked in their own right — so the analysis crosses helper
+// boundaries.
+type closeBalance struct{}
+
+func newCloseBalance() *closeBalance { return &closeBalance{} }
+
+func (*closeBalance) Name() string { return "closebalance" }
+
+func (*closeBalance) Doc() string {
+	return "operators whose Close is gated on an opened flag must close every already-opened child on each Open path that returns before the flag is set"
+}
+
+func (r *closeBalance) CheckProgram(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		if !pathMatch(pkg.Path, "internal/exec", "internal/async") {
+			continue
+		}
+		guards := closeGuards(prog, pkg)
+		if len(guards) == 0 {
+			continue
+		}
+		a := &cbAnalysis{rule: r, prog: prog, pkg: pkg, guards: guards, sums: map[string]*cbSummary{}}
+		a.buildSummaries()
+		diags = append(diags, a.check()...)
+	}
+	return diags
+}
+
+// closeGuards maps receiver type name -> guard field name for every
+// type in pkg whose Close method early-returns when a boolean field is
+// unset (`if !x.opened { return ... }`).
+func closeGuards(prog *Program, pkg *Package) map[string]string {
+	guards := make(map[string]string)
+	for _, fi := range prog.Funcs {
+		if fi.Pkg != pkg || fi.Decl.Name.Name != "Close" || fi.RecvType == "" {
+			continue
+		}
+		recv := recvVarName(fi.Decl)
+		if recv == "" {
+			continue
+		}
+		for _, s := range fi.Decl.Body.List {
+			ifs, ok := s.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			un, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr)
+			if !ok || un.Op != token.NOT {
+				continue
+			}
+			field, ok := recvField(un.X, recv)
+			if !ok {
+				continue
+			}
+			if len(ifs.Body.List) == 1 {
+				if _, isRet := ifs.Body.List[0].(*ast.ReturnStmt); isRet {
+					guards[fi.RecvType] = field
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// cbSummary is a helper method's effect as observed by its caller on
+// the success path: the child fields left open when it returns nil, and
+// whether it set the guard. Error exits contribute nothing — a helper
+// owns cleanup on its own failure paths, and the walker checks that
+// directly.
+type cbSummary struct {
+	opens     map[string]token.Pos
+	setsGuard bool
+	reached   bool // a success exit exists
+}
+
+type cbAnalysis struct {
+	rule   *closeBalance
+	prog   *Program
+	pkg    *Package
+	guards map[string]string
+	sums   map[string]*cbSummary // "RecvType.method" -> summary
+}
+
+func (a *cbAnalysis) methods() []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range a.prog.Funcs {
+		if fi.Pkg != a.pkg || fi.RecvType == "" {
+			continue
+		}
+		if _, guarded := a.guards[fi.RecvType]; !guarded {
+			continue
+		}
+		out = append(out, fi)
+	}
+	return out
+}
+
+// buildSummaries computes success-exit summaries for every non-Open
+// method of a guarded type, to a fixed point (helpers calling helpers).
+func (a *cbAnalysis) buildSummaries() {
+	members := a.methods()
+	for _, fi := range members {
+		a.sums[fi.RecvType+"."+fi.Decl.Name.Name] = &cbSummary{opens: map[string]token.Pos{}}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range members {
+			if fi.Decl.Name.Name == "Open" {
+				continue
+			}
+			recv := recvVarName(fi.Decl)
+			if recv == "" {
+				continue
+			}
+			w := &cbWalker{a: a, fi: fi, recv: recv, guard: a.guards[fi.RecvType], collect: &cbSummary{opens: map[string]token.Pos{}}}
+			st := w.block(fi.Decl.Body.List, cbState{open: map[string]token.Pos{}})
+			if !st.terminated {
+				w.recordSuccess(st) // fallthrough end-of-body is a success exit
+			}
+			key := fi.RecvType + "." + fi.Decl.Name.Name
+			old := a.sums[key]
+			if !cbSummaryEqual(old, w.collect) {
+				a.sums[key] = w.collect
+				changed = true
+			}
+		}
+	}
+}
+
+func cbSummaryEqual(x, y *cbSummary) bool {
+	if x.setsGuard != y.setsGuard || x.reached != y.reached || len(x.opens) != len(y.opens) {
+		return false
+	}
+	for k := range x.opens {
+		if _, ok := y.opens[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// check walks Open and every pre-guard helper it calls, reporting
+// returns that strand open children.
+func (a *cbAnalysis) check() []Diagnostic {
+	var diags []Diagnostic
+	// Helpers called from a guarded Open run before the guard is set and
+	// get their error paths checked too.
+	preGuard := map[string]bool{}
+	for _, fi := range a.methods() {
+		if fi.Decl.Name.Name != "Open" {
+			continue
+		}
+		recv := recvVarName(fi.Decl)
+		inspectShallow(fi.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+					if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && id.Name == recv {
+						preGuard[fi.RecvType+"."+sel.Sel.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, fi := range a.methods() {
+		name := fi.RecvType + "." + fi.Decl.Name.Name
+		isOpen := fi.Decl.Name.Name == "Open"
+		if !isOpen && !preGuard[name] {
+			continue
+		}
+		recv := recvVarName(fi.Decl)
+		if recv == "" {
+			continue
+		}
+		w := &cbWalker{a: a, fi: fi, recv: recv, guard: a.guards[fi.RecvType], checkSuccess: isOpen}
+		w.block(fi.Decl.Body.List, cbState{open: map[string]token.Pos{}})
+		diags = append(diags, w.diags...)
+	}
+	return diags
+}
+
+// childCall matches recv.Field.Open(...) / recv.Field.Close(...) and
+// returns the field and method names.
+func childCall(call *ast.CallExpr, recv string) (field, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, isField := recvField(sel.X, recv)
+	if !isField {
+		return "", "", false
+	}
+	return f, sel.Sel.Name, true
+}
+
+// recvField matches `recv.Field` and returns the field name.
+func recvField(e ast.Expr, recv string) (string, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || id.Name != recv {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// assignsGuard matches `recv.guard = true`.
+func assignsGuard(assign *ast.AssignStmt, recv, guard string) bool {
+	for i, lhs := range assign.Lhs {
+		f, ok := recvField(lhs, recv)
+		if !ok || f != guard {
+			continue
+		}
+		if i < len(assign.Rhs) {
+			if id, ok := ast.Unparen(assign.Rhs[i]).(*ast.Ident); ok && id.Name == "true" {
+				return true
+			}
+		}
+		if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+			return true // multi-assign from a call: assume it may set it
+		}
+	}
+	return false
+}
+
+func recvVarName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// cbState is the abstract state at a program point: the child fields
+// opened so far (with their Open positions) and whether the Close
+// guard has been set.
+type cbState struct {
+	open       map[string]token.Pos
+	guarded    bool
+	terminated bool
+}
+
+func (st cbState) clone() cbState {
+	o := make(map[string]token.Pos, len(st.open))
+	for k, v := range st.open {
+		o[k] = v
+	}
+	return cbState{open: o, guarded: st.guarded}
+}
+
+func cbJoin(a, b cbState) cbState {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := cbState{open: map[string]token.Pos{}, guarded: a.guarded && b.guarded}
+	for k, v := range a.open { // union: open on any path must be handled
+		out.open[k] = v
+	}
+	for k, v := range b.open {
+		if _, ok := out.open[k]; !ok {
+			out.open[k] = v
+		}
+	}
+	return out
+}
+
+type cbWalker struct {
+	a     *cbAnalysis
+	fi    *FuncInfo
+	recv  string
+	guard string
+	// checkSuccess: also flag success returns that strand open children
+	// without setting the guard (Open methods only; helpers leave
+	// children open for Open by contract).
+	checkSuccess bool
+	// collect, when non-nil, switches the walker to summary mode: no
+	// diagnostics, success exits accumulate into the summary.
+	collect *cbSummary
+	diags   []Diagnostic
+}
+
+// successEffects probes a statement (If init/cond or plain) for the
+// canonical open idiom and returns its success-path effect:
+// recv.F.Open(...) opens F; recv.helper(...) applies the helper's
+// success summary. found is false when the statement has no such
+// effect.
+func (w *cbWalker) successEffects(n ast.Node) (apply func(cbState) cbState, found bool) {
+	var effects []func(cbState) cbState
+	if n == nil {
+		return nil, false
+	}
+	inspectShallow(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f, name, isChild := childCall(call, w.recv); isChild {
+			if name == "Open" {
+				pos := call.Pos()
+				field := f
+				effects = append(effects, func(st cbState) cbState {
+					st.open[field] = pos
+					return st
+				})
+			}
+			return true
+		}
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && id.Name == w.recv {
+				if hs, ok := w.a.sums[w.fi.RecvType+"."+sel.Sel.Name]; ok && (len(hs.opens) > 0 || hs.setsGuard) {
+					pos := call.Pos()
+					sum := hs
+					effects = append(effects, func(st cbState) cbState {
+						for f := range sum.opens {
+							st.open[f] = pos
+						}
+						if sum.setsGuard {
+							st.guarded = true
+						}
+						return st
+					})
+				}
+			}
+		}
+		return true
+	})
+	if len(effects) == 0 {
+		return nil, false
+	}
+	return func(st cbState) cbState {
+		for _, e := range effects {
+			st = e(st)
+		}
+		return st
+	}, true
+}
+
+// applyEffects folds open/close/guard effects of a statement into st,
+// treating helper calls by their success summaries (used outside the
+// asymmetric error-check idiom, where success and failure share the
+// path).
+func (w *cbWalker) applyEffects(n ast.Node, st cbState) cbState {
+	if n == nil {
+		return st
+	}
+	inspectShallow(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.CallExpr:
+			if f, name, ok := childCall(x, w.recv); ok {
+				switch name {
+				case "Open":
+					st.open[f] = x.Pos()
+				case "Close":
+					delete(st.open, f)
+				}
+			} else if sel, isSel := ast.Unparen(x.Fun).(*ast.SelectorExpr); isSel {
+				if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID && id.Name == w.recv {
+					if hs, ok := w.a.sums[w.fi.RecvType+"."+sel.Sel.Name]; ok {
+						for f := range hs.opens {
+							st.open[f] = x.Pos()
+						}
+						if hs.setsGuard {
+							st.guarded = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if assignsGuard(x, w.recv, w.guard) {
+				st.guarded = true
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// isNilReturn matches `return nil` (and bare `return`): the success
+// exit shape for an error-returning lifecycle method.
+func isNilReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return true
+	}
+	if len(ret.Results) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(ret.Results[0]).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func (w *cbWalker) recordSuccess(st cbState) {
+	if w.collect == nil {
+		return
+	}
+	w.collect.reached = true
+	for k, v := range st.open {
+		if _, ok := w.collect.opens[k]; !ok {
+			w.collect.opens[k] = v
+		}
+	}
+	if st.guarded {
+		w.collect.setsGuard = true
+	}
+}
+
+func (w *cbWalker) checkExit(ret *ast.ReturnStmt, st cbState) {
+	// The return expression itself may close children:
+	// `return errors.Join(err, j.Left.Close())`.
+	st = w.applyEffects(ret, st)
+	success := isNilReturn(ret)
+	if w.collect != nil {
+		if success {
+			w.recordSuccess(st)
+		}
+		return
+	}
+	if success && !w.checkSuccess {
+		return
+	}
+	if st.guarded || len(st.open) == 0 {
+		return
+	}
+	for f, pos := range st.open {
+		why := fmt.Sprintf("errors.Join(err, %s.%s.Close()) before returning", w.recv, f)
+		if success {
+			why = fmt.Sprintf("set %s.%s before returning", w.recv, w.guard)
+		}
+		w.diags = append(w.diags, Diagnostic{
+			Pos:  w.fi.Pkg.Position(ret.Pos()),
+			Rule: w.a.rule.Name(),
+			Message: fmt.Sprintf("in (*%s).%s: child %s opened at %v is not closed on this return path and %s is still false, "+
+				"so the gated Close will never release it (half-open subtree leak); %s",
+				w.fi.RecvType, w.fi.Decl.Name.Name, f, w.fi.Pkg.Position(pos), w.guard, why),
+		})
+	}
+}
+
+func (w *cbWalker) block(list []ast.Stmt, st cbState) cbState {
+	for _, s := range list {
+		if st.terminated {
+			return st
+		}
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *cbWalker) stmt(s ast.Stmt, st cbState) cbState {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		w.checkExit(x, st)
+		st.terminated = true
+		return st
+
+	case *ast.BlockStmt:
+		return w.block(x.List, st)
+
+	case *ast.IfStmt:
+		// The canonical idiom `if err := x.F.Open(ctx); err != nil {...}`
+		// needs asymmetric treatment: on the error branch F did NOT open
+		// (a failed Open owes no Close by the operator contract, and a
+		// failed helper owns its own cleanup); on the success branch it
+		// did. Same for `if err := x.helper(ctx); err != nil {...}`.
+		if apply, found := w.successEffects(x.Init); found {
+			if name, op, isNilCmp := nilComparison(x.Cond); isNilCmp && name != "" {
+				errBranchIsThen := op == token.NEQ
+				errSt, okSt := st.clone(), apply(st.clone())
+				if errBranchIsThen {
+					thenSt := w.block(x.Body.List, errSt)
+					elseSt := okSt
+					if x.Else != nil {
+						elseSt = w.stmt(x.Else, elseSt)
+					}
+					return cbJoin(thenSt, elseSt)
+				}
+				thenSt := w.block(x.Body.List, okSt)
+				elseSt := errSt
+				if x.Else != nil {
+					elseSt = w.stmt(x.Else, elseSt)
+				}
+				return cbJoin(thenSt, elseSt)
+			}
+			// Unrecognized condition: apply effects on both branches.
+			st = apply(st)
+			thenSt := w.block(x.Body.List, st.clone())
+			elseSt := st.clone()
+			if x.Else != nil {
+				elseSt = w.stmt(x.Else, elseSt)
+			}
+			return cbJoin(thenSt, elseSt)
+		}
+		if x.Init != nil {
+			st = w.stmt(x.Init, st)
+		}
+		st = w.applyEffects(x.Cond, st)
+		thenSt := w.block(x.Body.List, st.clone())
+		elseSt := st.clone()
+		if x.Else != nil {
+			elseSt = w.stmt(x.Else, elseSt)
+		}
+		return cbJoin(thenSt, elseSt)
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = w.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			st = w.applyEffects(x.Cond, st)
+		}
+		body := w.block(x.Body.List, st.clone())
+		return cbJoin(st, body)
+
+	case *ast.RangeStmt:
+		st = w.applyEffects(x.X, st)
+		body := w.block(x.Body.List, st.clone())
+		return cbJoin(st, body)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st)
+
+	case *ast.BranchStmt:
+		st.terminated = true
+		return st
+
+	case *ast.DeferStmt:
+		// `defer x.F.Close()` releases F on every path.
+		if f, name, ok := childCall(x.Call, w.recv); ok && name == "Close" {
+			delete(st.open, f)
+		}
+		return st
+
+	default:
+		return w.applyEffects(s, st)
+	}
+}
+
+func (w *cbWalker) branches(s ast.Stmt, st cbState) cbState {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st = w.stmt(x.Init, st)
+		}
+		if x.Tag != nil {
+			st = w.applyEffects(x.Tag, st)
+		}
+		clauses = x.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = x.Body.List
+	case *ast.SelectStmt:
+		hasDefault = true
+		clauses = x.Body.List
+	}
+	out := cbState{terminated: true}
+	for _, c := range clauses {
+		var body []ast.Stmt
+		branch := st.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				branch = w.applyEffects(cc.Comm, branch)
+			}
+			body = cc.Body
+		}
+		out = cbJoin(out, w.block(body, branch))
+	}
+	if !hasDefault {
+		out = cbJoin(out, st)
+	}
+	return out
+}
+
+// Check satisfies Rule; closeBalance only runs via CheckProgram.
+func (*closeBalance) Check(*Package) []Diagnostic { return nil }

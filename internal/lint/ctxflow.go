@@ -20,6 +20,11 @@ import (
 //     default (`if ctx == nil { ctx = context.Background() }`): any
 //     other use silently detaches work from the caller's cancellation
 //     scope.
+//
+// Sub-check 1 is interprocedural: effectful-ness propagates over the
+// whole program's call graph through every context-less function, so an
+// exported wrapper is flagged even when the pump or network call hides
+// behind helper layers in another package.
 type ctxFlow struct {
 	// scopes restricts sub-check 1.
 	scopes []string
@@ -49,20 +54,59 @@ func (*ctxFlow) Doc() string {
 	return "exported functions performing pump or network calls must take a context.Context; context.Background()/TODO() only in main packages, tests, and nil-context defaults"
 }
 
-func (r *ctxFlow) Check(pkg *Package) []Diagnostic {
+// Check satisfies Rule; ctxFlow runs via CheckProgram.
+func (r *ctxFlow) Check(pkg *Package) []Diagnostic { return nil }
+
+func (r *ctxFlow) CheckProgram(prog *Program) []Diagnostic {
 	var diags []Diagnostic
-	if pkg.Name != "main" {
-		diags = append(diags, r.checkBackground(pkg)...)
-	}
-	if pathMatch(pkg.Path, r.scopes...) {
-		diags = append(diags, r.checkExported(pkg)...)
+	eff := r.effectfulFuncs(prog)
+	for _, pkg := range prog.Pkgs {
+		if pkg.Name != "main" {
+			diags = append(diags, r.checkBackground(pkg)...)
+		}
+		if pathMatch(pkg.Path, r.scopes...) {
+			diags = append(diags, r.checkExported(prog, pkg, eff)...)
+		}
 	}
 	return diags
 }
 
 // --- sub-check 1: exported effectful functions need a ctx param -------
 
-func (r *ctxFlow) checkExported(pkg *Package) []Diagnostic {
+// effectfulFuncs computes, over the whole program's call graph, the
+// context-less functions that (transitively) perform a pump or network
+// call. Propagation crosses package boundaries but stops at any
+// function that takes a context parameter — such a callee is
+// cancellable, and what its callers pass it is their own business
+// (sub-check 2 polices Background()).
+func (r *ctxFlow) effectfulFuncs(prog *Program) map[*FuncInfo]bool {
+	hasCtx := make(map[*FuncInfo]bool, len(prog.Funcs))
+	eff := make(map[*FuncInfo]bool)
+	for _, fi := range prog.Funcs {
+		hasCtx[fi] = hasCtxParam(fi.File, fi.Decl.Type)
+		if !hasCtx[fi] && r.firstEffectfulCall(fi.Pkg, fi.File, fi.Decl.Body, nil) != nil {
+			eff[fi] = true
+		}
+	}
+	prog.fixedPoint(func(fi *FuncInfo) bool {
+		if eff[fi] || hasCtx[fi] {
+			return false
+		}
+		for _, e := range fi.Calls {
+			if e.InFuncLit || e.Target == nil {
+				continue
+			}
+			if eff[e.Target] {
+				eff[fi] = true
+				return true
+			}
+		}
+		return false
+	})
+	return eff
+}
+
+func (r *ctxFlow) checkExported(prog *Program, pkg *Package, eff map[*FuncInfo]bool) []Diagnostic {
 	helpers := r.effectfulHelpers(pkg)
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
@@ -74,14 +118,30 @@ func (r *ctxFlow) checkExported(pkg *Package) []Diagnostic {
 			if hasCtxParam(f, fd.Type) {
 				continue
 			}
-			call := r.firstEffectfulCall(pkg, f, fd.Body, helpers)
-			if call == nil {
-				continue
+			what := ""
+			if call := r.firstEffectfulCall(pkg, f, fd.Body, helpers); call != nil {
+				recv, name := callee(call)
+				what = name
+				if recv != "" {
+					what = recv + "." + name
+				}
+			} else if fi := prog.FuncOf(fd); fi != nil {
+				// Interprocedural: a call into any context-less function
+				// that is transitively effectful, wherever it lives.
+				for _, e := range fi.Calls {
+					if e.InFuncLit || e.Target == nil || !eff[e.Target] {
+						continue
+					}
+					what = e.Target.Name()
+					if e.Target.Pkg != pkg {
+						what = e.Target.Pkg.Name + "." + what
+					}
+					what += " (transitively)"
+					break
+				}
 			}
-			recv, name := callee(call)
-			what := name
-			if recv != "" {
-				what = recv + "." + name
+			if what == "" {
+				continue
 			}
 			diags = append(diags, Diagnostic{
 				Pos:  pkg.Position(fd.Name.Pos()),

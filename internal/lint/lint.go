@@ -77,7 +77,9 @@ type Rule interface {
 	Check(pkg *Package) []Diagnostic
 }
 
-// AllRules returns the full suite in stable order.
+// AllRules returns the full suite in stable order. The first five are
+// the original intra-procedural rules; the last four run on the shared
+// interprocedural Program built over the whole loaded package set.
 func AllRules() []Rule {
 	return []Rule{
 		newSlotBalance(),
@@ -85,6 +87,10 @@ func AllRules() []Rule {
 		newSeededRand(),
 		newLockScope(),
 		newGoroutineCtx(),
+		newCloseBalance(),
+		newBatchWindow(),
+		newLockOrder(),
+		newErrJoin(),
 	}
 }
 
@@ -114,14 +120,33 @@ func RunNoIgnore(pkgs []*Package, rules []Rule) []Diagnostic {
 
 func run(pkgs []*Package, rules []Rule, applyIgnores bool) []Diagnostic {
 	var out []Diagnostic
+	// Suppressions are collected per package but applied from one merged
+	// table: interprocedural rules emit diagnostics for any package, and
+	// filenames are unique across the load, so merging is sound.
+	merged := &suppressions{byRule: make(map[string][]span)}
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
 		out = append(out, sup.malformed...)
-		for _, r := range rules {
-			for _, d := range r.Check(pkg) {
-				if !applyIgnores || !sup.covers(r.Name(), d.Pos) {
-					out = append(out, d)
-				}
+		for rule, spans := range sup.byRule {
+			merged.byRule[rule] = append(merged.byRule[rule], spans...)
+		}
+	}
+	var prog *Program
+	for _, r := range rules {
+		var raw []Diagnostic
+		if pr, ok := r.(ProgramRule); ok {
+			if prog == nil {
+				prog = BuildProgram(pkgs)
+			}
+			raw = pr.CheckProgram(prog)
+		} else {
+			for _, pkg := range pkgs {
+				raw = append(raw, r.Check(pkg)...)
+			}
+		}
+		for _, d := range raw {
+			if !applyIgnores || !merged.covers(r.Name(), d.Pos) {
+				out = append(out, d)
 			}
 		}
 	}

@@ -140,6 +140,10 @@ func TestFixtures(t *testing.T) {
 		{"lockscope", "repro/internal/server", []string{"lockscope"}},
 		{"lockscope_pump", "repro/internal/async", []string{"lockscope"}},
 		{"goroutinectx", "repro/internal/async", []string{"goroutinectx"}},
+		{"closebalance", "repro/internal/exec", []string{"closebalance"}},
+		{"batchwindow", "repro/internal/exec", []string{"batchwindow"}},
+		{"lockorder", "repro/internal/server", []string{"lockorder"}},
+		{"errjoin", "repro/internal/exec", []string{"errjoin"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) { runFixture(t, tc.dir, tc.asPath, tc.rules) })
@@ -176,7 +180,10 @@ func TestMalformedIgnore(t *testing.T) {
 // TestRuleMetadata pins the suite composition and that every rule has a
 // one-line doc (used by wsqlint -list).
 func TestRuleMetadata(t *testing.T) {
-	want := []string{"slotbalance", "ctxflow", "seededrand", "lockscope", "goroutinectx"}
+	want := []string{
+		"slotbalance", "ctxflow", "seededrand", "lockscope", "goroutinectx",
+		"closebalance", "batchwindow", "lockorder", "errjoin",
+	}
 	got := RuleNames(AllRules())
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("AllRules() = %v, want %v", got, want)

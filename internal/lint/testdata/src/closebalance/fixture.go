@@ -1,0 +1,176 @@
+// Package exec is a closebalance fixture: operators whose Close is
+// gated on an opened flag must release already-opened children on every
+// Open path that returns before the flag is set.
+package exec
+
+import "errors"
+
+type Context struct{}
+
+type Operator interface {
+	Open(ctx *Context) error
+	Close() error
+}
+
+// LeakyJoin reproduces the exact half-open-subtree leak shape the batch
+// executor refactor (PR 7) fixed dynamically: Close is gated on opened,
+// and Open forgets the left subtree when the right open fails.
+type LeakyJoin struct {
+	Left, Right Operator
+	opened      bool
+}
+
+func (j *LeakyJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return err // want "child Left opened at .*half-open subtree leak"
+	}
+	j.opened = true
+	return nil
+}
+
+func (j *LeakyJoin) Close() error {
+	if !j.opened {
+		return nil
+	}
+	j.opened = false
+	return errors.Join(j.Left.Close(), j.Right.Close())
+}
+
+// FixedJoin is the correct pattern: the half-open left subtree is
+// released on the error path before the gated Close loses track of it.
+type FixedJoin struct {
+	Left, Right Operator
+	opened      bool
+}
+
+func (j *FixedJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return errors.Join(err, j.Left.Close())
+	}
+	j.opened = true
+	return nil
+}
+
+func (j *FixedJoin) Close() error {
+	if !j.opened {
+		return nil
+	}
+	j.opened = false
+	return errors.Join(j.Left.Close(), j.Right.Close())
+}
+
+// UngatedUnion has an unguarded Close: exec.Run's errors.Join(err,
+// op.Close()) reaches the children on every failure path, so early
+// error returns owe no explicit close and the rule stays silent.
+type UngatedUnion struct {
+	Left, Right Operator
+}
+
+func (u *UngatedUnion) Open(ctx *Context) error {
+	if err := u.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := u.Right.Open(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (u *UngatedUnion) Close() error {
+	return errors.Join(u.Left.Close(), u.Right.Close())
+}
+
+// HelperJoin opens its children through a helper: the helper's
+// success-exit summary carries the opens across the call boundary, so
+// the bind failure path is convicted of leaking both subtrees.
+type HelperJoin struct {
+	Left, Right Operator
+	opened      bool
+}
+
+func (j *HelperJoin) openChildren(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return errors.Join(err, j.Left.Close())
+	}
+	return nil
+}
+
+func (j *HelperJoin) bind(ctx *Context) error { return nil }
+
+func (j *HelperJoin) Open(ctx *Context) error {
+	if err := j.openChildren(ctx); err != nil {
+		return err
+	}
+	if err := j.bind(ctx); err != nil {
+		return err // want "child Left opened" // want "child Right opened"
+	}
+	j.opened = true
+	return nil
+}
+
+func (j *HelperJoin) Close() error {
+	if !j.opened {
+		return nil
+	}
+	j.opened = false
+	return errors.Join(j.Left.Close(), j.Right.Close())
+}
+
+// GuardFirstJoin sets the flag before the fallible tail — the gated
+// Close takes over from there, so the tail's error return is fine.
+type GuardFirstJoin struct {
+	Left, Right Operator
+	opened      bool
+}
+
+func (j *GuardFirstJoin) bindAll(ctx *Context) error { return nil }
+
+func (j *GuardFirstJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return errors.Join(err, j.Left.Close())
+	}
+	j.opened = true
+	return j.bindAll(ctx)
+}
+
+func (j *GuardFirstJoin) Close() error {
+	if !j.opened {
+		return nil
+	}
+	j.opened = false
+	return errors.Join(j.Left.Close(), j.Right.Close())
+}
+
+// ForgetfulScan succeeds without ever setting its guard: the children
+// stay open forever because Close no-ops on every teardown.
+type ForgetfulScan struct {
+	Child  Operator
+	opened bool
+}
+
+func (s *ForgetfulScan) Open(ctx *Context) error {
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	return nil // want "set s.opened before returning"
+}
+
+func (s *ForgetfulScan) Close() error {
+	if !s.opened {
+		return nil
+	}
+	s.opened = false
+	return s.Child.Close()
+}

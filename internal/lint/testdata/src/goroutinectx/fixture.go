@@ -67,11 +67,32 @@ func (w *worker) SpawnWaitGroup() {
 }
 
 func (w *worker) SpawnNamed() {
-	go w.drain() // named functions own their lifecycle; literals only
+	go w.drain() // want "goroutine target .*drain.* has no cancellation path"
 }
 
 func (w *worker) drain() {
 	for range w.jobs {
+	}
+}
+
+// SpawnNamedCancellable resolves through the call graph: runLoop never
+// mentions a channel itself, but its callee selects on the stop signal.
+func (w *worker) SpawnNamedCancellable() {
+	go w.runLoop()
+}
+
+func (w *worker) runLoop() {
+	for w.step() {
+	}
+}
+
+func (w *worker) step() bool {
+	select {
+	case <-w.stop:
+		return false
+	case j := <-w.jobs:
+		_ = j
+		return true
 	}
 }
 

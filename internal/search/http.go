@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -155,9 +156,13 @@ func NewClient(name, baseURL string) *Client {
 // Name implements Engine.
 func (c *Client) Name() string { return c.name }
 
-func (c *Client) get(path string, params url.Values, out interface{}) error {
+func (c *Client) get(ctx context.Context, path string, params url.Values, out interface{}) error {
 	u := c.baseURL + path + "?" + params.Encode()
-	resp, err := c.http.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("engine %s: %w", c.name, err)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("engine %s: %w", c.name, err)
 	}
@@ -197,40 +202,78 @@ func (e *StatusError) Transient() bool {
 	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
 }
 
-// Count implements Engine. The Engine protocol is synchronous by design:
-// cancellation, per-attempt deadlines and hedging are owned by the pump
-// layer, and the underlying http.Client caps every request at 60s.
-//
-//lint:ignore ctxflow Engine interface is synchronous; the pump layer owns cancellation
-func (c *Client) Count(query string) (int64, error) {
+// Count returns the hit count for the query. The request is bound to ctx:
+// cancellation or deadline expiry aborts it mid-flight (on top of the
+// http.Client's own 60s cap).
+func (c *Client) Count(ctx context.Context, query string) (int64, error) {
 	var out countResponse
 	params := url.Values{"q": {query}}
-	if err := c.get("/count", params, &out); err != nil {
+	if err := c.get(ctx, "/count", params, &out); err != nil {
 		return 0, err
 	}
 	return out.Count, nil
 }
 
-// Search implements Engine.
-//
-//lint:ignore ctxflow Engine interface is synchronous; the pump layer owns cancellation
-func (c *Client) Search(query string, k int) ([]Result, error) {
+// Search returns the top-k results for the query under ctx.
+func (c *Client) Search(ctx context.Context, query string, k int) ([]Result, error) {
 	var out searchResponse
 	params := url.Values{"q": {query}, "k": {strconv.Itoa(k)}}
-	if err := c.get("/search", params, &out); err != nil {
+	if err := c.get(ctx, "/search", params, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
 }
 
-// Fetch implements Engine.
-//
-//lint:ignore ctxflow Engine interface is synchronous; the pump layer owns cancellation
-func (c *Client) Fetch(pageURL string) (string, error) {
+// Fetch returns the body of the page at pageURL under ctx.
+func (c *Client) Fetch(ctx context.Context, pageURL string) (string, error) {
 	var out fetchResponse
 	params := url.Values{"url": {pageURL}}
-	if err := c.get("/fetch", params, &out); err != nil {
+	if err := c.get(ctx, "/fetch", params, &out); err != nil {
 		return "", err
 	}
 	return out.Body, nil
+}
+
+// Bound adapts the context-aware Client to the synchronous Engine
+// interface by binding every request to a fixed context. The Engine
+// protocol stays synchronous by design — per-call cancellation,
+// deadlines and hedging are owned by the pump layer — but a Bound
+// client scoped to a process or serve context lets shutdown abort
+// whatever HTTP requests are still in flight instead of abandoning
+// them to the transport's 60s timeout.
+type Bound struct {
+	// Client issues the requests.
+	Client *Client
+	// Ctx bounds every request; nil means no lifetime bound beyond the
+	// transport's own timeout.
+	Ctx context.Context
+}
+
+// Bind wraps c into an Engine whose requests live within ctx.
+func Bind(ctx context.Context, c *Client) *Bound { return &Bound{Client: c, Ctx: ctx} }
+
+func (b *Bound) context() context.Context {
+	ctx := b.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Name implements Engine.
+func (b *Bound) Name() string { return b.Client.Name() }
+
+// Count implements Engine.
+func (b *Bound) Count(query string) (int64, error) {
+	return b.Client.Count(b.context(), query)
+}
+
+// Search implements Engine.
+func (b *Bound) Search(query string, k int) ([]Result, error) {
+	return b.Client.Search(b.context(), query, k)
+}
+
+// Fetch implements Engine.
+func (b *Bound) Fetch(pageURL string) (string, error) {
+	return b.Client.Fetch(b.context(), pageURL)
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync"
@@ -142,7 +143,7 @@ func newHTTPPair(t *testing.T) (*Client, *httptest.Server) {
 
 func TestHTTPCount(t *testing.T) {
 	c, _ := newHTTPPair(t)
-	n, err := c.Count("abcd")
+	n, err := c.Count(context.Background(), "abcd")
 	if err != nil || n != 4 {
 		t.Fatalf("count over http: %d %v", n, err)
 	}
@@ -150,7 +151,7 @@ func TestHTTPCount(t *testing.T) {
 
 func TestHTTPSearch(t *testing.T) {
 	c, _ := newHTTPPair(t)
-	res, err := c.Search("utah", 2)
+	res, err := c.Search(context.Background(), "utah", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestHTTPSearch(t *testing.T) {
 
 func TestHTTPFetch(t *testing.T) {
 	c, _ := newHTTPPair(t)
-	body, err := c.Fetch("www.x.com/1")
+	body, err := c.Fetch(context.Background(), "www.x.com/1")
 	if err != nil || body != "<html>www.x.com/1</html>" {
 		t.Fatalf("fetch: %q %v", body, err)
 	}
-	if _, err := c.Fetch("missing"); err != ErrNotFound {
+	if _, err := c.Fetch(context.Background(), "missing"); err != ErrNotFound {
 		t.Errorf("not-found mapping: %v", err)
 	}
 }
@@ -176,7 +177,7 @@ func TestHTTPFetch(t *testing.T) {
 func TestHTTPErrors(t *testing.T) {
 	c, _ := newHTTPPair(t)
 	// Server-side engine failure surfaces as an error with the message.
-	if _, err := c.Count("err"); err == nil {
+	if _, err := c.Count(context.Background(), "err"); err == nil {
 		t.Error("engine error should propagate over http")
 	}
 	// Bad parameters.
@@ -194,7 +195,7 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	// Unreachable server.
 	dead := NewClient("dead", "http://127.0.0.1:1")
-	if _, err := dead.Count("x"); err == nil {
+	if _, err := dead.Count(context.Background(), "x"); err == nil {
 		t.Error("unreachable server should error")
 	}
 }
@@ -222,7 +223,7 @@ func TestHTTPConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.Search("q", 1); err != nil {
+			if _, err := c.Search(context.Background(), "q", 1); err != nil {
 				errs <- err
 			}
 		}()

@@ -35,7 +35,7 @@ func newChaosEnv(t *testing.T, faultProb float64, retry async.RetryPolicy) *test
 	faults := search.TransientOnly(faultProb)
 	db.RegisterEngine(search.NewFlaky(search.NewDelayedRand(websim.NewAltaVista(corpus), model, avRng), faults, avRng), "AV")
 	db.RegisterEngine(search.NewFlaky(search.NewDelayedRand(websim.NewGoogle(corpus), model, gRng), faults, gRng), "G")
-	if err := harness.LoadPaperTables(db); err != nil {
+	if err := harness.LoadPaperTables(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(New(db, Options{MaxConcurrentQueries: 16, MaxQueueDepth: 64}))

@@ -41,7 +41,7 @@ func newTestEnv(t *testing.T, model search.LatencyModel, cfg core.Config, opts O
 	corpus := websim.Default()
 	db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), model, 1), "AV")
 	db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), model, 2), "G")
-	if err := harness.LoadPaperTables(db); err != nil {
+	if err := harness.LoadPaperTables(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	hs := httptest.NewServer(New(db, opts))
@@ -119,10 +119,10 @@ func TestAggregateThroughputScales(t *testing.T) {
 	}
 	model := search.LatencyModel{Base: 20 * time.Millisecond, CountFactor: 1}
 	env := newTestEnv(t, model, core.Config{}, Options{})
-	if _, err := env.db.Exec(`CREATE TABLE Probe (Name VARCHAR)`); err != nil {
+	if _, err := env.db.ExecContext(context.Background(), `CREATE TABLE Probe (Name VARCHAR)`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := env.db.Exec(`INSERT INTO Probe VALUES ('Hawaii')`); err != nil {
+	if _, err := env.db.ExecContext(context.Background(), `INSERT INTO Probe VALUES ('Hawaii')`); err != nil {
 		t.Fatal(err)
 	}
 	query := func(tag string, i int) string {

@@ -60,7 +60,7 @@ func startTier(t *testing.T, n int, model search.LatencyModel, budgets map[strin
 		t.Cleanup(func() { db.Close() })
 		db.RegisterEngine(search.NewDelayed(websim.NewAltaVista(corpus), model, int64(i+1)), "AV")
 		db.RegisterEngine(search.NewDelayed(websim.NewGoogle(corpus), model, int64(i+100)), "G")
-		if err := harness.LoadPaperTables(db); err != nil {
+		if err := harness.LoadPaperTables(context.Background(), db); err != nil {
 			t.Fatal(err)
 		}
 		peers := NewPeers(id, Config{}, PeerOptions{WaitMS: 250})
