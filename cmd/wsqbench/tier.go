@@ -7,10 +7,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/search"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -29,6 +33,15 @@ type benchTier struct {
 	FillsReceived  int64   `json:"fills_received"`
 	DrainHandedOff int     `json:"drain_handed_off"`
 	DrainOK        bool    `json:"drain_ok"`
+	// Distributed-tracing evidence: one ?trace=1 query through the
+	// coordinator must come back as a single stitched span tree.
+	TraceID    string `json:"trace_id,omitempty"`
+	TraceSpans int    `json:"trace_spans,omitempty"`
+	TraceNodes int    `json:"trace_nodes,omitempty"`
+	// Tier-merged /profiles evidence.
+	ProfileDests   int     `json:"profile_dests,omitempty"`
+	ProfileQueries int64   `json:"profile_queries,omitempty"`
+	ProfileP95MS   float64 `json:"profile_call_p95_ms,omitempty"`
 }
 
 // tierNode is one in-process worker: its own database, engines, cache,
@@ -60,7 +73,11 @@ func tierBench(model search.LatencyModel, workers, clients int, duration time.Du
 		env := newEnv(model, false, maxTotal, maxDest, cacheSize)
 		peers := shard.NewPeers(id, shard.Config{}, shard.PeerOptions{})
 		env.DB.Pump().SetCachePeer(peers)
-		inner := server.New(env.DB, server.Options{MaxConcurrentQueries: 4 * clients})
+		inner := server.New(env.DB, server.Options{
+			MaxConcurrentQueries: 4 * clients,
+			Node:                 id,
+			Profiles:             profile.NewStore(id),
+		})
 		w := shard.NewWorker(shard.WorkerOptions{
 			ID: id, Inner: inner, Cache: env.DB.Cache(), Pump: env.DB.Pump(), Peers: peers,
 		})
@@ -138,6 +155,14 @@ func tierBench(model search.LatencyModel, workers, clients int, duration time.Du
 	res := drive(cl, clients, duration, queries)
 	drainErr := <-drainDone
 
+	// One explicitly traced query after the load: the stitched tree is
+	// the proof that trace propagation crosses the coordinator/worker
+	// boundary (and survives the drained ring).
+	traceID, troot, traceErr := tracedTierQuery(ctx, coordURL, queries[0])
+
+	// The coordinator's /profiles must serve the merged worker view.
+	prof, profErr := scrapeProfiles(ctx, coordURL+"/profiles")
+
 	// Tally tier-wide evidence.
 	var tr benchTier
 	tr.Workers = workers
@@ -154,10 +179,53 @@ func tierBench(model search.LatencyModel, workers, clients int, duration time.Du
 		tr.PeerHits += nd.env.DB.Pump().Stats().PeerHits
 	}
 
+	if troot != nil {
+		tr.TraceID = traceID
+		tr.TraceSpans = troot.CountSpans()
+		nodes := map[string]bool{}
+		troot.Walk(func(s *obs.SpanJSON) {
+			if s.Node != "" {
+				nodes[s.Node] = true
+			}
+		})
+		tr.TraceNodes = len(nodes)
+	}
+	if profErr == nil {
+		tr.ProfileDests = len(prof.Destinations)
+		tr.ProfileQueries = prof.Query.Queries
+		for _, d := range prof.Destinations {
+			if ms := d.P95 * 1000; ms > tr.ProfileP95MS {
+				tr.ProfileP95MS = ms
+			}
+		}
+	}
+
 	fmt.Printf("\ntier results: %d ok, %d rejected, %d errors, %.1f q/s\n", res.ok, res.rejected, res.errors, res.qps)
 	fmt.Printf("tier cache: cross-node hits=%d, pump peer hits=%d, fills received=%d\n",
 		tr.CrossNodeHits, tr.PeerHits, tr.FillsReceived)
 	fmt.Printf("drain: ok=%v, hot keys handed off=%d\n", tr.DrainOK, tr.DrainHandedOff)
+	fmt.Printf("trace: id=%s spans=%d nodes=%d\n", tr.TraceID, tr.TraceSpans, tr.TraceNodes)
+	fmt.Printf("profiles: dests=%d queries=%d worst call p95=%.1fms\n", tr.ProfileDests, tr.ProfileQueries, tr.ProfileP95MS)
+
+	// Persist the stitched tree next to the -json-out report so CI can
+	// upload it as a build artifact.
+	if jsonPath != "" && troot != nil {
+		artifact := filepath.Join(filepath.Dir(jsonPath), "BENCH_trace.json")
+		doc, err := json.MarshalIndent(map[string]any{
+			"trace_id": traceID,
+			"spans":    tr.TraceSpans,
+			"nodes":    tr.TraceNodes,
+			"trace":    troot,
+		}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(artifact, doc, 0o644)
+		}
+		if err != nil {
+			fmt.Printf("trace artifact: %v\n", err)
+		} else {
+			fmt.Printf("stitched trace written to %s\n", artifact)
+		}
+	}
 
 	// /metrics must corroborate the counters (the operator's view).
 	metricsOK := false
@@ -194,10 +262,112 @@ func tierBench(model search.LatencyModel, workers, clients int, duration time.Du
 		fmt.Println("FAIL: no queries succeeded")
 		failed = true
 	}
+	if traceErr != nil {
+		fmt.Printf("FAIL: traced tier query: %v\n", traceErr)
+		failed = true
+	}
+	if profErr != nil {
+		fmt.Printf("FAIL: coordinator /profiles: %v\n", profErr)
+		failed = true
+	} else {
+		if tr.ProfileDests == 0 {
+			fmt.Println("FAIL: coordinator /profiles reports zero destinations (worker merge broken)")
+			failed = true
+		}
+		if tr.ProfileQueries == 0 {
+			fmt.Println("FAIL: coordinator /profiles reports zero queries")
+			failed = true
+		}
+		if tr.ProfileP95MS <= 0 {
+			fmt.Println("FAIL: coordinator /profiles reports no positive call p95")
+			failed = true
+		}
+	}
 	if failed {
 		fatal(fmt.Errorf("tier smoke failed"))
 	}
-	fmt.Println("tier smoke passed: cross-node hits > 0, zero query errors, drain clean")
+	fmt.Println("tier smoke passed: cross-node hits > 0, zero query errors, drain clean, stitched trace + merged profiles served")
+}
+
+// tracedTierQuery issues one ?trace=1 query through the coordinator and
+// verifies the response carries a single stitched span tree: consistent
+// trace id, the coordinator's routing spans, and the worker's execution
+// subtree grafted beneath the winning attempt.
+func tracedTierQuery(ctx context.Context, coordURL, sql string) (string, *obs.SpanJSON, error) {
+	body, err := json.Marshal(map[string]any{"sql": sql, "trace": true})
+	if err != nil {
+		return "", nil, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, coordURL+"/query", strings.NewReader(string(body)))
+	if err != nil {
+		return "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		TraceID string        `json:"trace_id"`
+		Trace   *obs.SpanJSON `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", nil, err
+	}
+	switch {
+	case out.TraceID == "" || len(out.TraceID) != 32:
+		return out.TraceID, out.Trace, fmt.Errorf("missing or malformed trace_id %q", out.TraceID)
+	case out.Trace == nil:
+		return out.TraceID, nil, fmt.Errorf("no stitched trace in response")
+	case out.Trace.Op != "coord.query":
+		return out.TraceID, out.Trace, fmt.Errorf("root op %q, want coord.query", out.Trace.Op)
+	case out.Trace.Find("coord.attempt") == nil:
+		return out.TraceID, out.Trace, fmt.Errorf("no coord.attempt span in stitched tree")
+	case out.Trace.Find("wsqd.query") == nil:
+		return out.TraceID, out.Trace, fmt.Errorf("no worker wsqd.query span in stitched tree (graft failed)")
+	case out.Trace.Find("pump.call") == nil:
+		return out.TraceID, out.Trace, fmt.Errorf("no pump.call span in stitched tree")
+	}
+	if wq := out.Trace.Find("wsqd.query"); wq.Node == "" {
+		return out.TraceID, out.Trace, fmt.Errorf("worker subtree not tagged with its node id")
+	}
+	return out.TraceID, out.Trace, nil
+}
+
+// tierProfiles mirrors the /profiles JSON document.
+type tierProfiles struct {
+	Node         string               `json:"node"`
+	Destinations []profile.Profile    `json:"destinations"`
+	Query        profile.QueryProfile `json:"query"`
+}
+
+// scrapeProfiles fetches and decodes a /profiles endpoint.
+func scrapeProfiles(ctx context.Context, url string) (*tierProfiles, error) {
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out tierProfiles
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // tierQueryPool builds the multi-node workload: for every template-1

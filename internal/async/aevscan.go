@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/types"
 )
@@ -27,6 +28,10 @@ type AEVScan struct {
 	// nCalls counts pump registrations across every Open of this instance,
 	// for the span trace (one registration per outer binding).
 	nCalls int64
+	// tracedIDs accumulates the CallIDs this scan registered while the
+	// query was sampled; TraceChildren exchanges them for pump call
+	// spans at Close. Empty for untraced queries.
+	tracedIDs []types.CallID
 }
 
 // NewAEVScan builds an asynchronous external scan.
@@ -65,6 +70,9 @@ func (s *AEVScan) Open(ctx *exec.Context) error {
 	s.callID = s.Pump.RegisterCtx(ctx.Ctx, src.Destination(), src.CacheKey(args), func() ([]types.Tuple, error) {
 		return src.Call(args)
 	})
+	if obs.SampledTrace(ctx.Ctx) != nil {
+		s.tracedIDs = append(s.tracedIDs, s.callID)
+	}
 	s.emitted = false
 	return nil
 }
@@ -114,6 +122,7 @@ func (s *AEVScan) BindBatch(ctx *exec.Context, frames []map[schema.AttrID]types.
 	if s.Pump.HasCache() {
 		byKey = make(map[string]types.CallID, len(frames))
 	}
+	sampled := obs.SampledTrace(ctx.Ctx) != nil
 	numEcho := s.Source.NumEcho()
 	for fi, frame := range frames {
 		ctx.Env.PushFrame(frame)
@@ -137,6 +146,9 @@ func (s *AEVScan) BindBatch(ctx *exec.Context, frames []map[schema.AttrID]types.
 			})
 			if byKey != nil {
 				byKey[key] = id
+			}
+			if sampled {
+				s.tracedIDs = append(s.tracedIDs, id)
 			}
 		}
 		t := make(types.Tuple, s.Out.Len())
@@ -163,6 +175,24 @@ func (s *AEVScan) SetChild(int, exec.Operator) { panic("AEVScan has no children"
 // SpanExtras implements exec.SpanExtras: calls registered with the pump.
 func (s *AEVScan) SpanExtras() map[string]int64 {
 	return map[string]int64{"calls": s.nCalls}
+}
+
+// TraceChildren implements exec.TraceChildren: the pump call timelines
+// this scan registered while the query was sampled, as spans. Taking a
+// call's record removes it from the pump, so re-closing (dependent
+// joins close their inner subtree once per binding) attaches each call
+// exactly once.
+func (s *AEVScan) TraceChildren() []*obs.Span {
+	if len(s.tracedIDs) == 0 || s.Pump == nil {
+		return nil
+	}
+	records := s.Pump.TakeCallTraces(s.tracedIDs)
+	s.tracedIDs = s.tracedIDs[:0]
+	spans := make([]*obs.Span, 0, len(records))
+	for _, ct := range records {
+		spans = append(spans, ct.Span())
+	}
+	return spans
 }
 
 // Name implements exec.Operator.

@@ -1,0 +1,176 @@
+package async
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// CallTrace records one pump call's lifecycle for a sampled query's
+// distributed trace: registration, queue wait, each physical execution
+// (first attempt, retries, hedges), and the final outcome. Records are
+// created by RegisterCtx only when the call's context carries a sampled
+// obs.TraceCtx — an untraced call carries a nil pointer and every
+// recording site is a nil check.
+//
+// A CallTrace is written by pump goroutines (dispatch, run, execution
+// workers) while the query goroutine may be converting it to a span, so
+// it carries its own mutex. Lock ordering: pump code may touch a
+// CallTrace while holding p.mu (CallTrace methods take only ct.mu and
+// never call back into the pump), but never the reverse.
+type CallTrace struct {
+	mu         sync.Mutex
+	traceID    string
+	dest       string
+	key        string
+	registered time.Time
+	dispatched time.Time
+	finished   time.Time
+	outcome    string
+	attempts   []callAttempt
+}
+
+type callAttempt struct {
+	kind   string // "attempt", "retry", "hedge"
+	start  time.Time
+	dur    time.Duration
+	failed bool
+}
+
+func newCallTrace(traceID, dest, key string) *CallTrace {
+	return &CallTrace{traceID: traceID, dest: dest, key: key, registered: time.Now()}
+}
+
+// setDispatched marks the moment the call left the admission queue.
+// Nil-safe, like every CallTrace recording method.
+func (ct *CallTrace) setDispatched() {
+	if ct == nil {
+		return
+	}
+	ct.mu.Lock()
+	if ct.dispatched.IsZero() {
+		ct.dispatched = time.Now()
+	}
+	ct.mu.Unlock()
+}
+
+// addAttempt records one physical execution of the call.
+func (ct *CallTrace) addAttempt(kind string, start time.Time, dur time.Duration, failed bool) {
+	if ct == nil {
+		return
+	}
+	ct.mu.Lock()
+	ct.attempts = append(ct.attempts, callAttempt{kind: kind, start: start, dur: dur, failed: failed})
+	ct.mu.Unlock()
+}
+
+// finish records the call's terminal outcome ("ok", "error", "canceled",
+// "cache_hit", "peer_hit", "coalesced", "closed"). First outcome wins.
+func (ct *CallTrace) finish(outcome string) {
+	if ct == nil {
+		return
+	}
+	ct.mu.Lock()
+	if ct.outcome == "" {
+		ct.outcome = outcome
+		ct.finished = time.Now()
+	}
+	ct.mu.Unlock()
+}
+
+// TraceID returns the owning trace's identity.
+func (ct *CallTrace) TraceID() string {
+	if ct == nil {
+		return ""
+	}
+	return ct.traceID
+}
+
+// Span converts the record to a span subtree: one "pump.call" span from
+// registration to settlement, with a child per physical execution and
+// the queue wait as an extra. The pump call ran concurrently with the
+// query's operators, so callers attach it via Span.AddAsyncChild.
+func (ct *CallTrace) Span() *obs.Span {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	end := ct.finished
+	if end.IsZero() {
+		// Still in flight when collected (query ended first): clock the
+		// span at collection time rather than dropping it.
+		end = time.Now()
+	}
+	detail := ct.dest
+	if ct.outcome != "" && ct.outcome != "ok" {
+		detail += " " + ct.outcome
+	}
+	s := &obs.Span{Op: "pump.call", Detail: detail, Start: ct.registered, Dur: end.Sub(ct.registered)}
+	if !ct.dispatched.IsZero() {
+		s.AddExtra("queue_us", ct.dispatched.Sub(ct.registered).Microseconds())
+	}
+	for _, a := range ct.attempts {
+		c := &obs.Span{Op: "pump." + a.kind, Start: a.start, Dur: a.dur}
+		if a.failed {
+			c.Detail = "failed"
+		}
+		s.AddChild(c)
+	}
+	return s
+}
+
+// TakeCallTraces removes and returns the trace records for the given
+// call ids. The issuing operator (AEVScan) calls it from Close on the
+// query goroutine and attaches the spans to its own trace node; removal
+// makes repeated Close (dependent joins re-close their inner subtree)
+// attach each call exactly once.
+func (p *Pump) TakeCallTraces(ids []types.CallID) []*CallTrace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.traces) == 0 {
+		return nil
+	}
+	var out []*CallTrace
+	for _, id := range ids {
+		if ct, ok := p.traces[id]; ok {
+			out = append(out, ct)
+			delete(p.traces, id)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Profile feed
+
+// ProfileSink receives the pump's per-call observations; implemented by
+// profile.Store. Event kinds are "retry", "hedge", "timeout",
+// "cache_hit", and "peer_hit" (the profile package's Event* constants).
+// Implementations must be safe for concurrent use and must not call
+// back into the pump (several hooks fire under p.mu).
+type ProfileSink interface {
+	CallObserved(dest string, d time.Duration, failed bool)
+	EventObserved(dest, kind string)
+}
+
+// profileBox wraps the interface for atomic.Pointer storage.
+type profileBox struct{ sink ProfileSink }
+
+// SetProfiles attaches (or, with nil, detaches) the profile sink. Like
+// metrics, it is read lock-free on the hot paths: a pump without a sink
+// pays one predicted branch per call.
+func (p *Pump) SetProfiles(s ProfileSink) {
+	if s == nil {
+		p.profiles.Store(nil)
+		return
+	}
+	p.profiles.Store(&profileBox{sink: s})
+}
+
+// profileSink returns the attached sink, or nil.
+func (p *Pump) profileSink() ProfileSink {
+	if b := p.profiles.Load(); b != nil {
+		return b.sink
+	}
+	return nil
+}

@@ -21,12 +21,12 @@ type pumpMetrics struct {
 	destInflight *obs.GaugeVec
 	// peerHits counts calls answered by a peer shard's cache instead of
 	// the engine, by destination (tier-wide cache peering).
-	peerHits *obs.CounterVec
-	retries  *obs.CounterVec
-	hedges       *obs.CounterVec
-	hedgeWins    *obs.CounterVec
-	timeouts     *obs.CounterVec
-	failures     *obs.CounterVec
+	peerHits  *obs.CounterVec
+	retries   *obs.CounterVec
+	hedges    *obs.CounterVec
+	hedgeWins *obs.CounterVec
+	timeouts  *obs.CounterVec
+	failures  *obs.CounterVec
 }
 
 // Observe implements obs.Observable: it binds the pump's metric families

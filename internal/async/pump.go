@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/internal/types"
 )
@@ -111,6 +112,15 @@ type Pump struct {
 	// then. Read lock-free on the hot paths (several run outside p.mu).
 	metrics atomic.Pointer[pumpMetrics]
 
+	// profiles holds the engine-profile sink attached by SetProfiles
+	// (profile.Store); nil until then. Read lock-free like metrics.
+	profiles atomic.Pointer[profileBox]
+
+	// traces holds per-call trace records for sampled queries, keyed by
+	// CallID; nil until the first sampled registration. Guarded by p.mu;
+	// the records themselves carry their own mutex (see CallTrace).
+	traces map[types.CallID]*CallTrace
+
 	// execWG tracks every goroutine that is (or may still be) inside an
 	// engine call: the run() workers and the timeout/hedge executions
 	// attemptOnce launches. Engine calls are uninterruptible, so these
@@ -126,6 +136,9 @@ type pumpCall struct {
 	key      string
 	enqueued time.Time
 	fn       func() ([]types.Tuple, error)
+	// trace is the call's trace record when the registering query is
+	// sampled; nil otherwise (every recording site is a nil check).
+	trace *CallTrace
 }
 
 // DefaultMaxTotal bounds total in-flight calls when no limit is given.
@@ -233,14 +246,25 @@ func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]t
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var ct *CallTrace
+	if tc := obs.SampledTrace(ctx); tc != nil {
+		ct = newCallTrace(tc.TraceID, dest, key)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.nextID++
 	id := p.nextID
 	p.registered++
+	if ct != nil {
+		if p.traces == nil {
+			p.traces = make(map[types.CallID]*CallTrace)
+		}
+		p.traces[id] = ct
+	}
 	if p.closed {
 		// A closed pump never runs anything; complete immediately with the
 		// sentinel so the waiter errors instead of hanging.
+		ct.finish("closed")
 		p.results[id] = CallResult{Err: fmt.Errorf("register: %w", ErrPumpClosed)}
 		p.done[id] = true
 		p.cond.Broadcast()
@@ -248,6 +272,7 @@ func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]t
 	}
 	if err := ctx.Err(); err != nil {
 		p.canceled++
+		ct.finish("canceled")
 		p.results[id] = CallResult{Err: err}
 		p.done[id] = true
 		p.cond.Broadcast()
@@ -256,6 +281,10 @@ func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]t
 	if p.cache != nil {
 		if rows, ok := p.cache.Get(key); ok {
 			p.cacheHits++
+			ct.finish("cache_hit")
+			if ps := p.profileSink(); ps != nil {
+				ps.EventObserved(dest, "cache_hit")
+			}
 			p.results[id] = CallResult{Rows: rows}
 			p.done[id] = true
 			p.cond.Broadcast()
@@ -264,12 +293,13 @@ func (p *Pump) RegisterCtx(ctx context.Context, dest, key string, fn func() ([]t
 		// Coalesce with an identical in-flight call.
 		if ids, ok := p.inflight[key]; ok {
 			p.coalesced++
+			ct.finish("coalesced")
 			p.inflight[key] = append(ids, id)
 			return id
 		}
 		p.inflight[key] = []types.CallID{id}
 	}
-	p.queue = append(p.queue, &pumpCall{id: id, ctx: ctx, dest: dest, key: key, enqueued: time.Now(), fn: fn})
+	p.queue = append(p.queue, &pumpCall{id: id, ctx: ctx, dest: dest, key: key, enqueued: time.Now(), fn: fn, trace: ct})
 	p.dispatchLocked()
 	return id
 }
@@ -296,6 +326,7 @@ func (p *Pump) dispatchLocked() {
 		if m := p.metrics.Load(); m != nil {
 			m.slotWait.Observe(time.Since(c.enqueued).Seconds())
 		}
+		c.trace.setDispatched()
 		p.grabTokenLocked(c.dest)
 		p.started++
 		p.execWG.Add(1)
@@ -308,6 +339,7 @@ func (p *Pump) dispatchLocked() {
 // coalesced onto it. Callers hold p.mu.
 func (p *Pump) settleUnstartedLocked(c *pumpCall, err error) {
 	p.canceled++
+	c.trace.finish("canceled")
 	ids := []types.CallID{c.id}
 	if co, ok := p.inflight[c.key]; ok {
 		ids = co
@@ -337,6 +369,14 @@ func (p *Pump) settleUnstartedLocked(c *pumpCall, err error) {
 func (p *Pump) run(c *pumpCall) {
 	defer p.execWG.Done()
 	rows, err, fromPeer := p.fetchOrExecute(c)
+	switch {
+	case fromPeer:
+		c.trace.finish("peer_hit")
+	case err != nil:
+		c.trace.finish("error")
+	default:
+		c.trace.finish("ok")
+	}
 	if err == nil && !fromPeer {
 		// Locally executed result: offer it to the key's home shard so the
 		// rest of the tier can hit it. Fill never blocks (it enqueues), and
@@ -392,6 +432,9 @@ func (p *Pump) fetchOrExecute(c *pumpCall) (rows []types.Tuple, err error, fromP
 			if m := p.metrics.Load(); m != nil {
 				m.peerHits.With(c.dest).Inc()
 			}
+			if ps := p.profileSink(); ps != nil {
+				ps.EventObserved(c.dest, "peer_hit")
+			}
 			return rows, nil, true
 		}
 	}
@@ -426,8 +469,11 @@ func (p *Pump) execute(c *pumpCall) ([]types.Tuple, error) {
 			if m := p.metrics.Load(); m != nil {
 				m.retries.With(c.dest).Inc()
 			}
+			if ps := p.profileSink(); ps != nil {
+				ps.EventObserved(c.dest, "retry")
+			}
 		}
-		rows, err := p.attemptOnce(c, pol)
+		rows, err := p.attemptOnce(c, pol, attempt)
 		if err == nil {
 			return rows, nil
 		}
@@ -446,10 +492,14 @@ func (p *Pump) execute(c *pumpCall) ([]types.Tuple, error) {
 // transferred to the execution goroutine (or consumed inline); by the time
 // the engine call finishes — even after attemptOnce has returned — its
 // token is released.
-func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) {
+func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy, attempt int) ([]types.Tuple, error) {
+	kind := "attempt"
+	if attempt > 0 {
+		kind = "retry"
+	}
 	if pol.CallTimeout <= 0 && pol.HedgeAfter <= 0 {
 		// Fast path: execute inline, as the pre-policy pump did.
-		rows, err := p.timedCall(c)
+		rows, err := p.timedCall(c, kind)
 		p.releaseToken(c.dest)
 		return rows, err
 	}
@@ -463,6 +513,10 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 	// finishing after we have returned never block.
 	ch := make(chan outcome, 1+pol.MaxHedges)
 	launch := func(hedged bool) {
+		execKind := kind
+		if hedged {
+			execKind = "hedge"
+		}
 		// This goroutine must NOT observe cancellation: the Engine call is
 		// not interruptible, and slot accounting requires the token to be
 		// held until the engine truly lets go — even after a timeout or a
@@ -472,7 +526,7 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 		p.execWG.Add(1)
 		go func() {
 			defer p.execWG.Done()
-			rows, err := p.timedCall(c)
+			rows, err := p.timedCall(c, execKind)
 			// Send before releasing the token: anyone who observes the freed
 			// slot (the hedge branch below) is then guaranteed to also see
 			// the finished outcome on ch, so it never hedges a done call.
@@ -532,6 +586,9 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 				if m := p.metrics.Load(); m != nil {
 					m.hedges.With(c.dest).Inc()
 				}
+				if ps := p.profileSink(); ps != nil {
+					ps.EventObserved(c.dest, "hedge")
+				}
 				launch(true)
 				hedgesLeft--
 			}
@@ -545,6 +602,9 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 			if m := p.metrics.Load(); m != nil {
 				m.timeouts.With(c.dest).Inc()
 			}
+			if ps := p.profileSink(); ps != nil {
+				ps.EventObserved(c.dest, "timeout")
+			}
 			return nil, fmt.Errorf("%w after %v", ErrCallTimeout, pol.CallTimeout)
 		case <-c.ctx.Done():
 			return nil, c.ctx.Err()
@@ -553,18 +613,27 @@ func (p *Pump) attemptOnce(c *pumpCall, pol RetryPolicy) ([]types.Tuple, error) 
 }
 
 // timedCall runs the engine call, recording its wall time in the
-// per-destination latency histogram when metrics are attached. Every
-// physical execution — first attempt, retry, or hedge — flows through
-// here, so the histogram reflects what the engines actually did, not
-// just what answered the query.
-func (p *Pump) timedCall(c *pumpCall) ([]types.Tuple, error) {
+// per-destination latency histogram (with an exemplar linking the
+// observation to the active trace, when sampled), the engine-profile
+// sink, and the call's trace record. Every physical execution — first
+// attempt, retry, or hedge — flows through here, so all three reflect
+// what the engines actually did, not just what answered the query.
+func (p *Pump) timedCall(c *pumpCall, kind string) ([]types.Tuple, error) {
 	m := p.metrics.Load()
-	if m == nil {
+	ps := p.profileSink()
+	if m == nil && ps == nil && c.trace == nil {
 		return c.fn()
 	}
 	start := time.Now()
 	rows, err := c.fn()
-	m.callLatency.With(c.dest).Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	if m != nil {
+		m.callLatency.With(c.dest).ObserveExemplar(elapsed.Seconds(), c.trace.TraceID())
+	}
+	if ps != nil {
+		ps.CallObserved(c.dest, elapsed, err != nil)
+	}
+	c.trace.addAttempt(kind, start, elapsed, err != nil)
 	return rows, err
 }
 

@@ -62,7 +62,7 @@ func (f *faultOp) Close() error {
 	f.open = false
 	return f.inner.Close()
 }
-func (f *faultOp) Children() []Operator  { return []Operator{f.inner} }
+func (f *faultOp) Children() []Operator { return []Operator{f.inner} }
 func (f *faultOp) SetChild(i int, op Operator) {
 	if i != 0 {
 		panic("faultOp has a single child")
@@ -323,12 +323,12 @@ func TestHashSemiJoinNullAndMultiKey(t *testing.T) {
 	lk, ln := strCol("L", "K"), intCol("L", "N")
 	rk, rn := strCol("R", "K"), intCol("R", "N")
 	left := NewValuesScan(schema.New(lk, ln), []types.Tuple{
-		{types.Str("a"), types.Int(1)},  // matches ("a",1)
-		{types.Str("a"), types.Int(2)},  // key exists per-column but not pairwise
-		{types.Str("b"), types.Null()},  // NULL probe key: dropped
-		{types.Null(), types.Int(1)},    // NULL probe key: dropped
-		{types.Str("c"), types.Int(2)},  // no match
-		{types.Str("a"), types.Int(1)},  // duplicate probe: emitted again
+		{types.Str("a"), types.Int(1)}, // matches ("a",1)
+		{types.Str("a"), types.Int(2)}, // key exists per-column but not pairwise
+		{types.Str("b"), types.Null()}, // NULL probe key: dropped
+		{types.Null(), types.Int(1)},   // NULL probe key: dropped
+		{types.Str("c"), types.Int(2)}, // no match
+		{types.Str("a"), types.Int(1)}, // duplicate probe: emitted again
 	})
 	right := NewValuesScan(schema.New(rk, rn), []types.Tuple{
 		{types.Str("a"), types.Int(1)},

@@ -2,8 +2,10 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/types"
 )
@@ -51,6 +53,9 @@ type EVScan struct {
 	// calls actually issued vs served from cache, across every Open of
 	// this scan (a dependent join re-opens it once per outer binding).
 	nCalls, nCacheHits int64
+	// callSpans accumulates per-call timing spans while the query is
+	// sampled; TraceChildren hands them out at Close. Nil when untraced.
+	callSpans []*obs.Span
 }
 
 // ResultCache memoizes external call results.
@@ -114,6 +119,7 @@ func (s *EVScan) Open(ctx *Context) error {
 	}
 	ctx.Stats.ExternalCalls++
 	s.nCalls++
+	start := time.Now()
 	var rows []types.Tuple
 	if ctx.RetryCall != nil {
 		rows, err = ctx.RetryCall(ctx.Ctx, func() ([]types.Tuple, error) {
@@ -121,6 +127,15 @@ func (s *EVScan) Open(ctx *Context) error {
 		})
 	} else {
 		rows, err = s.Source.Call(args)
+	}
+	if obs.SampledTrace(ctx.Ctx) != nil {
+		detail := s.Source.Destination()
+		if err != nil {
+			detail += " error"
+		}
+		s.callSpans = append(s.callSpans, &obs.Span{
+			Op: "engine.call", Detail: detail, Start: start, Dur: time.Since(start),
+		})
 	}
 	if err != nil {
 		switch ctx.Degrade {
@@ -214,6 +229,17 @@ func (s *EVScan) SetChild(int, Operator) { panic("EVScan has no children") }
 // and cache hits served, accumulated over every Open.
 func (s *EVScan) SpanExtras() map[string]int64 {
 	return map[string]int64{"calls": s.nCalls, "cache_hits": s.nCacheHits}
+}
+
+// TraceChildren implements the async-span hook: per-call timing spans
+// recorded while the query was sampled. The scan blocks inside the call
+// (its wall time already lands in the span's self time); these children
+// name the destination and per-call latency. Each span is handed out
+// once.
+func (s *EVScan) TraceChildren() []*obs.Span {
+	out := s.callSpans
+	s.callSpans = nil
+	return out
 }
 
 // Name implements Operator.

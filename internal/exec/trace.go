@@ -17,6 +17,18 @@ type SpanExtras interface {
 	SpanExtras() map[string]int64
 }
 
+// TraceChildren is implemented by operators whose work partly runs
+// concurrently with the iterator protocol — AEVScan's pump calls,
+// EVScan's inline engine calls — and can surface it as spans. The
+// instrumented executor collects them at Close and attaches them as
+// async children of the operator's span (obs.Span.AddAsyncChild), so
+// the off-tree work becomes visible without perturbing the plan-shaped
+// timing invariants. Implementations must hand each span out exactly
+// once (Close runs repeatedly).
+type TraceChildren interface {
+	TraceChildren() []*obs.Span
+}
+
 // Instrument wraps every operator of a plan in a timing decorator and
 // returns the instrumented plan plus the root of its span tree. The
 // span tree mirrors the plan tree exactly (span parentage == operator
@@ -141,6 +153,11 @@ func (w *spanOp) Close() error {
 	}
 	if w.nBatches > 0 {
 		w.span.SetExtra("batches", w.nBatches)
+	}
+	if tc, ok := w.inner.(TraceChildren); ok {
+		for _, c := range tc.TraceChildren() {
+			w.span.AddAsyncChild(c)
+		}
 	}
 	return err
 }

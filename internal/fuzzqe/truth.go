@@ -38,10 +38,10 @@ import (
 // still settle — while the nested-loop plan keeps the same join below
 // the ReqSync. Hence two predictions.
 type Truth struct {
-	Multiset        map[string]int
-	SyncCalls       int64
-	AsyncCalls      int64
-	AsyncSettledNLJ int64
+	Multiset         map[string]int
+	SyncCalls        int64
+	AsyncCalls       int64
+	AsyncSettledNLJ  int64
 	AsyncSettledHash int64
 }
 

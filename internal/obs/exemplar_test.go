@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05)                  // no exemplar
+	h.ObserveExemplar(0.5, "abc123") // bucket le=1
+	h.ObserveExemplar(5, "def456")   // +Inf bucket
+	h.ObserveExemplar(0.6, "")       // untraced: counts, no exemplar
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if len(s.Exemplars) != 3 {
+		t.Fatalf("exemplar slots = %d, want one per bucket", len(s.Exemplars))
+	}
+	if s.Exemplars[0] != nil {
+		t.Error("bucket 0 has an exemplar without a traced observation")
+	}
+	if e := s.Exemplars[1]; e == nil || e.TraceID != "abc123" || e.Value != 0.5 {
+		t.Errorf("bucket 1 exemplar = %+v", e)
+	}
+	if e := s.Exemplars[2]; e == nil || e.TraceID != "def456" {
+		t.Errorf("+Inf exemplar = %+v", e)
+	}
+
+	// A later traced observation in the same bucket replaces the exemplar
+	// (most recent wins — the one a user can still look up in the sink).
+	h.ObserveExemplar(0.7, "newer")
+	if e := h.Snapshot().Exemplars[1]; e == nil || e.TraceID != "newer" {
+		t.Errorf("exemplar not replaced: %+v", e)
+	}
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("wsq_latency_seconds", "Query latency.", []float64{0.125, 1})
+	h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+	h.Observe(0.0625)
+
+	// Default exposition stays plain 0.0.4: no exemplars, no EOF.
+	var plain strings.Builder
+	if err := reg.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") || strings.Contains(plain.String(), "# EOF") {
+		t.Errorf("WritePrometheus leaked OpenMetrics extensions:\n%s", plain.String())
+	}
+
+	var om strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	want := `wsq_latency_seconds_bucket{le="1"} 2 # {trace_id="0123456789abcdef0123456789abcdef"} 0.5`
+	if !strings.Contains(out, want) {
+		t.Errorf("missing exemplar line %q in:\n%s", want, out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics payload does not end with # EOF:\n%s", out)
+	}
+	// Buckets without a traced observation stay bare.
+	if strings.Contains(out, `le="0.125"} 1 #`) {
+		t.Errorf("untraced bucket carries an exemplar:\n%s", out)
+	}
+	if problems := LintExposition(out); len(problems) != 0 {
+		t.Errorf("OpenMetrics output fails lint: %v", problems)
+	}
+}
+
+func TestLintExemplarRules(t *testing.T) {
+	// Well-formed exemplar on a bucket line: accepted.
+	good := `wsq_latency_seconds_bucket{le="1"} 2 # {trace_id="abc"} 0.5`
+	if problems := LintExposition(good); len(problems) != 0 {
+		t.Errorf("valid exemplar rejected: %v", problems)
+	}
+	// Exemplar on a non-bucket series: rejected.
+	bad := `wsq_latency_seconds_sum 2 # {trace_id="abc"} 0.5`
+	if problems := LintExposition(bad); len(problems) == 0 {
+		t.Error("exemplar on _sum accepted")
+	}
+	// Malformed annotation: rejected.
+	malformed := `wsq_latency_seconds_bucket{le="1"} 2 # {trace_id=abc} 0.5`
+	if problems := LintExposition(malformed); len(problems) == 0 {
+		t.Error("malformed exemplar accepted")
+	}
+}

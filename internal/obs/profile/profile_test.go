@@ -1,0 +1,276 @@
+package profile
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func seedStore(node string) *Store {
+	s := NewStore(node)
+	for i := 0; i < 100; i++ {
+		s.CallObserved("altavista", 100*time.Millisecond, false)
+	}
+	for i := 0; i < 10; i++ {
+		s.CallObserved("altavista", 2*time.Second, i < 5)
+	}
+	s.EventObserved("altavista", EventRetry)
+	s.EventObserved("altavista", EventCacheHit)
+	s.EventObserved("altavista", EventCacheHit)
+	s.EventObserved("altavista", EventPeerHit)
+	s.EventObserved("altavista", EventTimeout)
+	s.CallObserved("moviefone", 500*time.Millisecond, false)
+	s.QueryObserved(300*time.Millisecond, 8)
+	s.QueryObserved(50*time.Millisecond, 2)
+	return s
+}
+
+func TestDerivedProfile(t *testing.T) {
+	s := seedStore("w1")
+	p, ok := s.Profile("altavista")
+	if !ok {
+		t.Fatal("altavista not profiled")
+	}
+	if p.Calls != 110 || p.Failures != 5 || p.Retries != 1 || p.Timeouts != 1 {
+		t.Errorf("counters: %+v", p)
+	}
+	// 100 fast + 10 slow calls: the median lands near 100ms, p99 near 2s.
+	if p.P50 <= 0 || p.P50 > 0.5 {
+		t.Errorf("p50 = %v, want ~0.1s", p.P50)
+	}
+	if p.P99 < 0.5 {
+		t.Errorf("p99 = %v, want ~2s", p.P99)
+	}
+	if p.EWMA <= 0 {
+		t.Errorf("ewma = %v", p.EWMA)
+	}
+	// 3 cache/peer hits absorbed vs 110 issued calls.
+	if want := 3.0 / 113.0; p.CacheHitRate < want-1e-9 || p.CacheHitRate > want+1e-9 {
+		t.Errorf("cache hit rate = %v, want %v", p.CacheHitRate, want)
+	}
+	if want := 5.0 / 110.0; p.FailureRate != want {
+		t.Errorf("failure rate = %v, want %v", p.FailureRate, want)
+	}
+
+	if _, ok := s.Profile("lycos"); ok {
+		t.Error("unknown destination reported a profile")
+	}
+	if got := s.Destinations(); len(got) != 2 || got[0] != "altavista" || got[1] != "moviefone" {
+		t.Errorf("Destinations = %v", got)
+	}
+
+	q := s.Query()
+	if q.Queries != 2 {
+		t.Errorf("queries = %d", q.Queries)
+	}
+	if q.MeanFan != 5 {
+		t.Errorf("mean fanout = %v, want 5", q.MeanFan)
+	}
+	if q.P95 <= 0 {
+		t.Errorf("query p95 = %v", q.P95)
+	}
+}
+
+func TestNilStoreNoops(t *testing.T) {
+	var s *Store
+	s.CallObserved("x", time.Second, true)
+	s.EventObserved("x", EventRetry)
+	s.QueryObserved(time.Second, 1)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+	s := seedStore("w1")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store (restart) loads the snapshot as its base: history is
+	// visible immediately and merges with new live observations.
+	s2 := NewStore("w1")
+	if err := s2.Load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	p, ok := s2.Profile("altavista")
+	if !ok || p.Calls != 110 {
+		t.Fatalf("reloaded profile: ok=%v calls=%d, want 110", ok, p.Calls)
+	}
+	if p.P99 < 0.5 {
+		t.Errorf("reloaded p99 = %v: histogram did not survive the disk trip", p.P99)
+	}
+	s2.CallObserved("altavista", time.Second, false)
+	if p, _ = s2.Profile("altavista"); p.Calls != 111 {
+		t.Errorf("live+base merge: calls = %d, want 111", p.Calls)
+	}
+	if q := s2.Query(); q.Queries != 2 {
+		t.Errorf("reloaded query profile: %d queries", q.Queries)
+	}
+
+	// Re-saving carries the whole history forward, not just the delta.
+	if err := s2.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewStore("w1")
+	if err := s3.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ = s3.Profile("altavista"); p.Calls != 111 {
+		t.Errorf("second-generation snapshot: calls = %d, want 111", p.Calls)
+	}
+}
+
+// TestLoadCorruptSnapshot: a truncated, corrupt, or version-mismatched
+// snapshot must load as an empty base with a loggable error — never
+// crash, never leave the store unusable.
+func TestLoadCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	good, _ := json.Marshal(seedStore("w1").Snapshot())
+
+	cases := map[string][]byte{
+		"truncated": good[:len(good)/2],
+		"garbage":   []byte("{not json at all"),
+		"empty":     {},
+		"version":   []byte(`{"version": 999, "dests": {}}`),
+	}
+	for name, data := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := NewStore("w1")
+		if err := s.Load(path); err == nil {
+			t.Errorf("%s: Load returned nil error", name)
+		}
+		// The store must still work end to end.
+		s.CallObserved("altavista", time.Second, false)
+		if p, ok := s.Profile("altavista"); !ok || p.Calls != 1 {
+			t.Errorf("%s: store unusable after bad load: ok=%v %+v", name, ok, p)
+		}
+		if err := s.Save(filepath.Join(dir, name+"-resave.json")); err != nil {
+			t.Errorf("%s: save after bad load: %v", name, err)
+		}
+	}
+
+	// Missing file is a clean first start: no error at all.
+	s := NewStore("w1")
+	if err := s.Load(filepath.Join(dir, "nonexistent.json")); err != nil {
+		t.Errorf("missing snapshot: %v", err)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := seedStore("w1").Snapshot()
+	b := NewStore("w2")
+	b.CallObserved("altavista", time.Second, true)
+	b.CallObserved("lycos", 100*time.Millisecond, false)
+	b.QueryObserved(time.Second, 4)
+
+	merged := MergeSnapshots("coord", a, b.Snapshot(), nil)
+	if merged.Node != "coord" {
+		t.Errorf("node = %q", merged.Node)
+	}
+	profiles, q := merged.Derive()
+	byDest := map[string]Profile{}
+	for _, p := range profiles {
+		byDest[p.Dest] = p
+	}
+	if p := byDest["altavista"]; p.Calls != 111 || p.Failures != 6 {
+		t.Errorf("merged altavista: %+v", p)
+	}
+	if _, ok := byDest["lycos"]; !ok {
+		t.Error("lycos missing from merge")
+	}
+	if q.Queries != 3 {
+		t.Errorf("merged queries = %d, want 3", q.Queries)
+	}
+	// EWMA blend is call-weighted, so it must sit between the inputs.
+	ae := a.Dests["altavista"].EWMA
+	if got := byDest["altavista"].EWMA; got < min(ae, 1) || got > max(ae, 1) {
+		t.Errorf("merged ewma %v outside [%v, 1]", got, ae)
+	}
+}
+
+func TestMergeHistMismatchedBounds(t *testing.T) {
+	a := HistSnap{Bounds: []float64{1, 2}, Counts: []int64{5, 3, 1}, Count: 9, Sum: 10}
+	b := HistSnap{Bounds: []float64{1, 2, 4}, Counts: []int64{1, 1, 1, 1}, Count: 4, Sum: 8}
+	m := mergeHist(a, b)
+	// Counts and Sum always add exactly; the sketch keeps the larger side.
+	if m.Count != 13 || m.Sum != 18 {
+		t.Errorf("count=%d sum=%v", m.Count, m.Sum)
+	}
+	if len(m.Bounds) != 2 {
+		t.Errorf("kept bounds %v, want a's (more observations)", m.Bounds)
+	}
+}
+
+// TestSnapshotterFinalSave: StartSnapshots writes one final snapshot on
+// context cancellation — the graceful-shutdown flush wsqd waits on.
+func TestSnapshotterFinalSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+	s := seedStore("w1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wg := s.StartSnapshots(ctx, path, time.Hour, nil) // interval never fires
+	cancel()
+	wg.Wait()
+
+	s2 := NewStore("w1")
+	if err := s2.Load(path); err != nil {
+		t.Fatalf("final snapshot unreadable: %v", err)
+	}
+	if p, ok := s2.Profile("altavista"); !ok || p.Calls != 110 {
+		t.Errorf("final snapshot content: ok=%v %+v", ok, p)
+	}
+
+	// Empty path disables snapshotting without goroutine leaks.
+	wg2 := s.StartSnapshots(context.Background(), "", time.Hour, nil)
+	wg2.Wait()
+}
+
+func TestProfilesHandler(t *testing.T) {
+	s := seedStore("w1")
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/profiles", nil))
+	var view struct {
+		Node         string       `json:"node"`
+		Destinations []Profile    `json:"destinations"`
+		Query        QueryProfile `json:"query"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Node != "w1" || len(view.Destinations) != 2 || view.Query.Queries != 2 {
+		t.Errorf("derived view: node=%q dests=%d queries=%d", view.Node, len(view.Destinations), view.Query.Queries)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/profiles?format=snapshot", nil))
+	var sn Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &sn); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Version != SnapshotVersion || sn.Dests["altavista"] == nil {
+		t.Errorf("snapshot form: version=%d dests=%v", sn.Version, sn.Dests)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/profiles?format=prom", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `wsq_profile_calls_total{dest="altavista"} 110`) {
+		t.Errorf("prom output missing calls counter:\n%s", body)
+	}
+	if problems := obs.LintExposition(body); len(problems) > 0 {
+		t.Errorf("/profiles?format=prom fails promlint:\n%s", strings.Join(problems, "\n"))
+	}
+}

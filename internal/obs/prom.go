@@ -16,14 +16,29 @@ import (
 // a given registry state.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, e := range r.snapshot() {
-		if err := writeEntry(w, e); err != nil {
+		if err := writeEntry(w, e, false); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeEntry(w io.Writer, e *entry) error {
+// WriteOpenMetrics encodes the registry like WritePrometheus but with
+// OpenMetrics extensions: histogram bucket lines carry exemplars
+// (`# {trace_id="..."} value`) when a traced observation landed in the
+// bucket, and the payload ends with `# EOF`. The default /metrics page
+// stays exemplar-free 0.0.4; scrapers opt in with ?format=openmetrics.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	for _, e := range r.snapshot() {
+		if err := writeEntry(w, e, true); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func writeEntry(w io.Writer, e *entry, exemplars bool) error {
 	if e.help != "" {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, escapeHelp(e.help)); err != nil {
 			return err
@@ -40,7 +55,7 @@ func writeEntry(w io.Writer, e *entry) error {
 	case func() float64:
 		return writeSample(w, e.name, nil, nil, m())
 	case *Histogram:
-		return writeHistogram(w, e.name, nil, nil, m.Snapshot())
+		return writeHistogram(w, e.name, nil, nil, m.Snapshot(), exemplars)
 	case *CounterVec:
 		for _, c := range m.snapshotChildren() {
 			if err := writeSample(w, e.name, e.labels, c.values, float64(c.metric.Value())); err != nil {
@@ -55,7 +70,7 @@ func writeEntry(w io.Writer, e *entry) error {
 		}
 	case *HistogramVec:
 		for _, c := range m.snapshotChildren() {
-			if err := writeHistogram(w, e.name, e.labels, c.values, c.metric.Snapshot()); err != nil {
+			if err := writeHistogram(w, e.name, e.labels, c.values, c.metric.Snapshot(), exemplars); err != nil {
 				return err
 			}
 		}
@@ -63,7 +78,7 @@ func writeEntry(w io.Writer, e *entry) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, labels, values []string, s HistSnapshot) error {
+func writeHistogram(w io.Writer, name string, labels, values []string, s HistSnapshot, exemplars bool) error {
 	var cum int64
 	ln := append([]string{}, labels...)
 	lv := append([]string{}, values...)
@@ -74,7 +89,12 @@ func writeHistogram(w io.Writer, name string, labels, values []string, s HistSna
 		if i < len(s.Bounds) {
 			le = formatFloat(s.Bounds[i])
 		}
-		if err := writeSample(w, name+"_bucket", ln, append(lv[:len(lv):len(lv)], le), float64(cum)); err != nil {
+		suffix := ""
+		if exemplars && i < len(s.Exemplars) && s.Exemplars[i] != nil {
+			e := s.Exemplars[i]
+			suffix = fmt.Sprintf(` # {trace_id="%s"} %s`, escapeLabel(e.TraceID), formatFloat(e.Value))
+		}
+		if err := writeSampleSuffix(w, name+"_bucket", ln, append(lv[:len(lv):len(lv)], le), float64(cum), suffix); err != nil {
 			return err
 		}
 	}
@@ -85,6 +105,10 @@ func writeHistogram(w io.Writer, name string, labels, values []string, s HistSna
 }
 
 func writeSample(w io.Writer, name string, labels, values []string, v float64) error {
+	return writeSampleSuffix(w, name, labels, values, v, "")
+}
+
+func writeSampleSuffix(w io.Writer, name string, labels, values []string, v float64, suffix string) error {
 	var b strings.Builder
 	b.WriteString(name)
 	if len(labels) > 0 {
@@ -102,9 +126,23 @@ func writeSample(w io.Writer, name string, labels, values []string, v float64) e
 	}
 	b.WriteByte(' ')
 	b.WriteString(formatFloat(v))
+	b.WriteString(suffix)
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteSampleLine writes one text-format sample. It exists for
+// exporters that encode snapshots rather than a live registry (the
+// /profiles endpoint); HELP/TYPE headers are the caller's job.
+func WriteSampleLine(w io.Writer, name string, labels, values []string, v float64) error {
+	return writeSample(w, name, labels, values, v)
+}
+
+// WriteHistogramSnapshot writes a histogram snapshot's cumulative
+// _bucket/_sum/_count series in the text format (see WriteSampleLine).
+func WriteHistogramSnapshot(w io.Writer, name string, labels, values []string, s HistSnapshot) error {
+	return writeHistogram(w, name, labels, values, s, false)
 }
 
 // formatFloat renders a sample value: integers without a decimal point,

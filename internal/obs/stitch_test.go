@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTree(start time.Time) *Span {
+	root := NewSpan("wsqd.query", "w1")
+	root.Start = start
+	root.Dur = 10 * time.Millisecond
+	child := root.AddChild(&Span{Op: "ReqSync", Start: start.Add(time.Millisecond), Dur: 8 * time.Millisecond})
+	child.AddChild(&Span{Op: "AEVScan", Start: start.Add(2 * time.Millisecond), Dur: 3 * time.Millisecond})
+	child.AddAsyncChild(&Span{Op: "pump.call", Detail: "altavista", Start: start.Add(2 * time.Millisecond), Dur: 6 * time.Millisecond})
+	return root
+}
+
+func TestSpanJSONAsyncChildren(t *testing.T) {
+	start := time.Now()
+	j := sampleTree(start).JSON()
+
+	// Async children serialize inside Children with the async flag, so
+	// one wire shape carries both relationships.
+	rs := j.Children[0]
+	if len(rs.Children) != 2 {
+		t.Fatalf("ReqSync wire children = %d, want 2", len(rs.Children))
+	}
+	var pump *SpanJSON
+	for _, c := range rs.Children {
+		if c.Op == "pump.call" {
+			pump = c
+		}
+	}
+	if pump == nil || !pump.Async {
+		t.Fatalf("pump.call child missing or not async: %+v", pump)
+	}
+	// Self time ignores async children: ReqSync's 8ms minus AEVScan's 3ms.
+	if rs.SelfUS != 5000 {
+		t.Errorf("ReqSync self = %vus, want 5000", rs.SelfUS)
+	}
+	if j.CountSpans() != 4 {
+		t.Errorf("CountSpans = %d, want 4", j.CountSpans())
+	}
+	if j.Find("pump.call") == nil {
+		t.Error("Find missed the async span")
+	}
+}
+
+func TestSpanFromJSONRoundTrip(t *testing.T) {
+	start := time.Unix(1000, 0)
+	orig := sampleTree(start)
+	wire, err := json.Marshal(orig.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded SpanJSON
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Unix(2000, 0)
+	back := SpanFromJSON(&decoded, base)
+	if back.Op != "wsqd.query" || !back.Start.Equal(base) {
+		t.Fatalf("root reconstructed as %s @ %v", back.Op, back.Start)
+	}
+	rs := back.Children[0]
+	if len(rs.Children) != 1 || rs.Children[0].Op != "AEVScan" {
+		t.Fatalf("sync children misplaced: %+v", rs.Children)
+	}
+	if len(rs.AsyncChildren) != 1 || rs.AsyncChildren[0].Op != "pump.call" {
+		t.Fatalf("async children misplaced: %+v", rs.AsyncChildren)
+	}
+	// Relative offsets preserved: ReqSync started 1ms after the root.
+	if got := rs.Start.Sub(back.Start); got != time.Millisecond {
+		t.Errorf("ReqSync offset = %v, want 1ms", got)
+	}
+	if rs.AsyncChildren[0].Dur != 6*time.Millisecond {
+		t.Errorf("pump.call dur = %v", rs.AsyncChildren[0].Dur)
+	}
+}
+
+func TestGraftRebases(t *testing.T) {
+	parent := &SpanJSON{Op: "coord.attempt", StartUS: 500, DurUS: 4000}
+	remote := &SpanJSON{
+		Op: "wsqd.query", StartUS: 0, DurUS: 3000,
+		Children: []*SpanJSON{{Op: "Scan", StartUS: 100, DurUS: 200}},
+	}
+	parent.Graft(remote, "w2")
+	if len(parent.Children) != 1 {
+		t.Fatal("graft did not attach")
+	}
+	got := parent.Children[0]
+	if got.Node != "w2" {
+		t.Errorf("node = %q", got.Node)
+	}
+	if got.StartUS != 500 || got.Children[0].StartUS != 600 {
+		t.Errorf("rebased offsets = %v, %v; want 500, 600", got.StartUS, got.Children[0].StartUS)
+	}
+	// A node already tagged is preserved.
+	parent.Graft(&SpanJSON{Op: "x", Node: "w9"}, "w2")
+	if parent.Children[1].Node != "w9" {
+		t.Errorf("graft overwrote node: %q", parent.Children[1].Node)
+	}
+	parent.Graft(nil, "w2") // no-op
+	if len(parent.Children) != 2 {
+		t.Error("nil graft attached something")
+	}
+}
+
+func TestTraceSinkHTTP(t *testing.T) {
+	sink := NewTraceSink(8, 4)
+	id := strings.Repeat("f", 32)
+	sink.Add(&StoredTrace{
+		TraceID:   id,
+		SQL:       "SELECT 1",
+		Node:      "w1",
+		StartedAt: time.Unix(1000, 0),
+		ElapsedMS: 1.5,
+		Root:      &SpanJSON{Op: "wsqd.query", DurUS: 1500},
+	})
+	sink.Add(&StoredTrace{TraceID: strings.Repeat("0", 31) + "1", Error: "boom"})
+
+	rec := httptest.NewRecorder()
+	sink.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var list struct {
+		Total  int            `json:"total_captured"`
+		Traces []*StoredTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 2 || len(list.Traces) != 2 {
+		t.Errorf("list: total=%d n=%d", list.Total, len(list.Traces))
+	}
+
+	rec = httptest.NewRecorder()
+	sink.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace_id="+id, nil))
+	var one StoredTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.TraceID != id || one.Root == nil || one.Root.Op != "wsqd.query" {
+		t.Errorf("lookup returned %+v", one)
+	}
+
+	rec = httptest.NewRecorder()
+	sink.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?trace_id="+strings.Repeat("9", 32), nil))
+	if rec.Code != 404 {
+		t.Errorf("missing trace: status %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	sink.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?errors=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Error != "boom" {
+		t.Errorf("errors filter returned %d traces", len(list.Traces))
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Distributed tracing context (DESIGN.md §8). A query entering the tier
+// is assigned a W3C-traceparent-style identity at the edge (coordinator
+// or wsqd); the identity rides the request's context.Context through
+// every layer — server admission, shard routing, the pump's call
+// timeline, cache peering — and across process hops as a `traceparent`
+// HTTP header. Each process contributes Span subtrees; the edge
+// stitches them into one tree (SpanJSON.Graft).
+//
+// The representation is deliberately tiny: a hot path that is not being
+// traced pays exactly one context.Value lookup returning nil (no
+// allocation, no atomic), mirroring the pump's metrics nil-check idiom.
+
+// TraceCtx is one query's trace identity plus a collector for spans
+// produced off the operator tree (remote cache-peer subtrees shipped
+// back in response headers). It is carried by context.Context via
+// WithTrace/TraceFrom.
+//
+// The collector is safe for concurrent use: pump execution goroutines
+// and peer fetches add spans while the query goroutine runs.
+type TraceCtx struct {
+	// TraceID is the 32-hex-digit tier-wide identity.
+	TraceID string
+	// Sampled gates instrumentation: an unsampled TraceCtx behaves like
+	// no TraceCtx at all on the recording paths.
+	Sampled bool
+
+	mu     sync.Mutex
+	remote []*Span
+}
+
+// NewTraceCtx mints a sampled trace context with a fresh identity.
+func NewTraceCtx() *TraceCtx {
+	return &TraceCtx{TraceID: NewTraceID(), Sampled: true}
+}
+
+// AddRemote collects a span that does not nest inside the operator tree
+// (e.g. a cache-peer round trip, whose remote half arrived in a response
+// header). The query's root span adopts collected spans as async
+// children when the trace is assembled.
+func (t *TraceCtx) AddRemote(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	t.remote = append(t.remote, s)
+	t.mu.Unlock()
+}
+
+// TakeRemote returns and clears the collected off-tree spans.
+func (t *TraceCtx) TakeRemote() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := t.remote
+	t.remote = nil
+	t.mu.Unlock()
+	return out
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace context to ctx.
+func WithTrace(ctx context.Context, t *TraceCtx) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace context carried by ctx, or nil. This is
+// the hot-path gate: it allocates nothing and does nothing but a value
+// lookup, so instrumentation sites can call it unconditionally.
+func TraceFrom(ctx context.Context) *TraceCtx {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*TraceCtx)
+	return t
+}
+
+// SampledTrace returns the trace context only when it is sampled — the
+// one check recording sites need.
+func SampledTrace(ctx context.Context) *TraceCtx {
+	if t := TraceFrom(ctx); t != nil && t.Sampled {
+		return t
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Identifiers
+
+// idState seeds span/trace identifiers: a process-unique random prefix
+// (crypto/rand once at startup; the seeded-randomness rule only governs
+// math/rand, and trace IDs must differ across processes by construction)
+// plus an atomic counter, so minting an ID on the query path costs two
+// atomics and one hex encode — no per-ID entropy read.
+var idState struct {
+	prefix [8]byte
+	ctr    atomic.Uint64
+	once   sync.Once
+}
+
+func idSeed() {
+	idState.once.Do(func() {
+		if _, err := crand.Read(idState.prefix[:]); err != nil {
+			// Entropy exhaustion is effectively impossible; fall back to a
+			// fixed prefix rather than failing query serving.
+			copy(idState.prefix[:], "wsqtrace")
+		}
+	})
+}
+
+// NewTraceID returns a 32-hex-digit (16-byte) trace identifier.
+func NewTraceID() string {
+	idSeed()
+	var b [16]byte
+	copy(b[:8], idState.prefix[:])
+	binary.BigEndian.PutUint64(b[8:], idState.ctr.Add(1))
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a 16-hex-digit (8-byte) span identifier.
+func NewSpanID() string {
+	idSeed()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], idState.ctr.Add(1)^binary.BigEndian.Uint64(idState.prefix[:]))
+	return hex.EncodeToString(b[:])
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+// TraceparentHeader is the propagation header name (W3C Trace Context).
+const TraceparentHeader = "traceparent"
+
+// Traceparent renders the W3C wire form: 00-<trace-id>-<parent-id>-<flags>.
+// The span id identifies the sender's active span; callers that do not
+// track per-hop span identity pass "" and a fresh id is minted.
+func (t *TraceCtx) Traceparent(spanID string) string {
+	if spanID == "" {
+		spanID = NewSpanID()
+	}
+	flags := "00"
+	if t.Sampled {
+		flags = "01"
+	}
+	return "00-" + t.TraceID + "-" + spanID + "-" + flags
+}
+
+// ParseTraceparent parses the W3C header. It accepts version 00 and
+// tolerates unknown future versions with the same layout, per spec.
+func ParseTraceparent(h string) (traceID, spanID string, sampled bool, err error) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false, fmt.Errorf("traceparent: bad layout %q", h)
+	}
+	version, tid, sid, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	for _, part := range []string{version, tid, sid, flags} {
+		if !isHexLower(part) {
+			return "", "", false, fmt.Errorf("traceparent: non-hex field in %q", h)
+		}
+	}
+	if version == "ff" {
+		return "", "", false, fmt.Errorf("traceparent: forbidden version ff")
+	}
+	if tid == "00000000000000000000000000000000" || sid == "0000000000000000" {
+		return "", "", false, fmt.Errorf("traceparent: zero id in %q", h)
+	}
+	var f byte
+	fmt.Sscanf(flags, "%02x", &f)
+	return tid, sid, f&1 == 1, nil
+}
+
+func isHexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Head sampling
+
+// Sampler makes the head-sampling decision for queries that did not ask
+// for a trace explicitly: 1 in Every queries is traced. The decision is
+// deterministic (an atomic counter, not a random draw) so a fixed
+// workload samples a fixed, reproducible subset — in keeping with the
+// repo's seeded-randomness discipline.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler returns a sampler tracing 1 in every queries. every <= 0
+// never samples; every == 1 samples everything.
+func NewSampler(every int) *Sampler {
+	if every < 0 {
+		every = 0
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether this query should be head-sampled.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return s.n.Add(1)%s.every == 1
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 	"repro/internal/types"
 )
 
@@ -73,6 +74,22 @@ type Options struct {
 	// RequestLog, when non-nil, receives one structured (JSON) line per
 	// /query request: SQL, outcome, latency, row and call counts.
 	RequestLog io.Writer
+	// Node names this process in stitched traces and profile snapshots
+	// ("w1", "coord"); empty for a standalone wsqd.
+	Node string
+	// TraceSampleEvery head-samples 1 in N queries for distributed
+	// tracing (wsqd -trace-sample). 0 disables head sampling; explicit
+	// ?trace=1 requests and sampled incoming traceparent headers are
+	// always traced regardless.
+	TraceSampleEvery int
+	// SlowTraceThreshold, when > 0, instruments every query and retains
+	// traces of queries slower than the threshold (or erroring) in
+	// /debug/traces — the tail-capture policy (wsqd -trace-slow).
+	SlowTraceThreshold time.Duration
+	// Profiles, when non-nil, receives per-query observations (latency,
+	// external-call fanout) and is served at /profiles; New also
+	// attaches it to the DB's pump as its ProfileSink.
+	Profiles *profile.Store
 }
 
 func (o *Options) fill() {
@@ -115,6 +132,9 @@ type Server struct {
 
 	logMu sync.Mutex // serializes RequestLog lines
 
+	sampler *obs.Sampler
+	traces  *obs.TraceSink
+
 	lat   *latencyRing
 	start time.Time
 }
@@ -124,12 +144,17 @@ type Server struct {
 func New(db *core.DB, opts Options) *Server {
 	opts.fill()
 	s := &Server{
-		db:    db,
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		sem:   make(chan struct{}, opts.MaxConcurrentQueries),
-		lat:   newLatencyRing(opts.LatencyWindow),
-		start: time.Now(),
+		db:      db,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, opts.MaxConcurrentQueries),
+		sampler: obs.NewSampler(opts.TraceSampleEvery),
+		traces:  obs.NewTraceSink(0, 0),
+		lat:     newLatencyRing(opts.LatencyWindow),
+		start:   time.Now(),
+	}
+	if opts.Profiles != nil {
+		db.Pump().SetProfiles(opts.Profiles)
 	}
 	reg := db.Metrics()
 	s.total = reg.Counter("wsq_server_queries_total", "Queries received by /query.")
@@ -156,6 +181,10 @@ func New(db *core.DB, opts Options) *Server {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/traces", s.traces)
+	if opts.Profiles != nil {
+		s.mux.Handle("/profiles", opts.Profiles.Handler())
+	}
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -165,10 +194,21 @@ func New(db *core.DB, opts Options) *Server {
 }
 
 // handleMetrics serves the DB registry in Prometheus text format.
+// ?format=openmetrics selects the OpenMetrics encoding, whose histogram
+// buckets carry exemplars linking tail observations to captured traces.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = s.db.Metrics().WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.db.Metrics().WritePrometheus(w)
 }
+
+// TraceSink exposes the server's captured-trace ring (tests and the
+// coordinator's merged /debug/traces).
+func (s *Server) TraceSink() *obs.TraceSink { return s.traces }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -246,8 +286,12 @@ type QueryResponse struct {
 	// query's drop/partial degradation policy.
 	DegradedCalls int64   `json:"degraded_calls,omitempty"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
+	// TraceID is the query's tier-wide trace identity, present whenever
+	// the query was traced (explicitly, head-sampled, or propagated).
+	TraceID string `json:"trace_id,omitempty"`
 	// Trace is the per-operator span tree, present when requested with
-	// trace=1.
+	// trace=1 or when the incoming traceparent was sampled (the stitching
+	// coordinator grafts it into the cross-process tree).
 	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
@@ -283,6 +327,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Trace decision. A sampled incoming traceparent (the coordinator or
+	// an upstream wsqd already chose to trace this query) or an explicit
+	// trace=1 always instruments; otherwise head sampling decides; a
+	// slow-trace threshold instruments everything so the tail can be
+	// captured after the fact. The untraced path costs one header lookup
+	// and one atomic — no allocation.
+	var tc *obs.TraceCtx
+	incomingSampled := false
+	if h := r.Header.Get(obs.TraceparentHeader); h != "" {
+		if tid, _, sampled, err := obs.ParseTraceparent(h); err == nil && sampled {
+			incomingSampled = true
+			tc = &obs.TraceCtx{TraceID: tid, Sampled: true}
+		}
+	}
+	headSampled := tc == nil && s.sampler.Sample()
+	slowOnly := false // instrumented solely for tail capture: store only if slow/error
+	if tc == nil && (req.Trace || headSampled || s.opts.SlowTraceThreshold > 0) {
+		slowOnly = !req.Trace && !headSampled
+		tc = obs.NewTraceCtx()
+	}
+	if tc != nil {
+		ctx = obs.WithTrace(ctx, tc)
+	}
+
 	s.total.Inc()
 
 	release, err := s.admit(ctx)
@@ -304,7 +372,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var res *core.Result
-	opts := core.QueryOptions{Degrade: &degrade, Trace: req.Trace}
+	opts := core.QueryOptions{Degrade: &degrade, Trace: req.Trace || tc != nil}
 	if s.opts.AllowWrites {
 		res, err = s.db.ExecContextOpts(ctx, req.SQL, opts)
 	} else {
@@ -312,7 +380,48 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(start)
 	s.lat.record(elapsed)
-	s.latency.Observe(elapsed.Seconds())
+	traceID := ""
+	if tc != nil {
+		traceID = tc.TraceID
+	}
+	s.latency.ObserveExemplar(elapsed.Seconds(), traceID)
+	if s.opts.Profiles != nil && res != nil {
+		s.opts.Profiles.QueryObserved(elapsed, int(res.Stats.ExternalCalls))
+	}
+
+	// Assemble the query's span tree: a "wsqd.query" root spanning the
+	// whole execution, the operator tree beneath it, and any off-tree
+	// spans (cache-peer round trips) collected by the trace context as
+	// async children.
+	var root *obs.Span
+	if tc != nil && res != nil && res.Trace != nil {
+		root = &obs.Span{
+			Op: "wsqd.query", Detail: s.opts.Node,
+			Start: start, Dur: elapsed, Rows: res.Trace.Rows,
+		}
+		root.AddChild(res.Trace)
+		for _, rs := range tc.TakeRemote() {
+			root.AddAsyncChild(rs)
+		}
+	}
+	slow := s.opts.SlowTraceThreshold > 0 && elapsed >= s.opts.SlowTraceThreshold
+	if tc != nil && (!slowOnly || slow || err != nil) {
+		st := &obs.StoredTrace{
+			TraceID:   tc.TraceID,
+			SQL:       truncateSQL(req.SQL),
+			Node:      s.opts.Node,
+			StartedAt: start,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000.0,
+			Slow:      slow,
+		}
+		if err != nil {
+			st.Error = err.Error()
+		}
+		if root != nil {
+			st.Root = root.JSON()
+		}
+		s.traces.Add(st)
+	}
 
 	if err != nil {
 		s.failed.Inc()
@@ -339,9 +448,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ExternalCalls: res.Stats.ExternalCalls,
 		DegradedCalls: res.Stats.DegradedCalls,
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1000.0,
+		TraceID:       traceID,
 	}
-	if res.Trace != nil {
-		resp.Trace = res.Trace.JSON()
+	// The span tree rides the response when the client asked for it or
+	// when a sampled upstream (the stitching coordinator) propagated the
+	// trace — head-sampled and slow-captured trees stay server-side in
+	// /debug/traces.
+	if root != nil && (req.Trace || incomingSampled) {
+		resp.Trace = root.JSON()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

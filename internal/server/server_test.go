@@ -25,6 +25,7 @@ type testEnv struct {
 	db  *core.DB
 	cl  *Client
 	url string
+	srv *Server
 }
 
 func newTestEnv(t *testing.T, model search.LatencyModel, cfg core.Config, opts Options) *testEnv {
@@ -44,9 +45,10 @@ func newTestEnv(t *testing.T, model search.LatencyModel, cfg core.Config, opts O
 	if err := harness.LoadPaperTables(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(New(db, opts))
+	srv := New(db, opts)
+	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)
-	return &testEnv{db: db, cl: NewClient(hs.URL), url: hs.URL}
+	return &testEnv{db: db, cl: NewClient(hs.URL), url: hs.URL, srv: srv}
 }
 
 // template1Query sorts on the async attribute (the ReqSync stays below the

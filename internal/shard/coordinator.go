@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/profile"
 )
 
 // CoordinatorOptions tunes the tier front door.
@@ -27,6 +28,15 @@ type CoordinatorOptions struct {
 	// body must be buffered so a failed attempt can be replayed on the
 	// next worker.
 	MaxBodyBytes int64
+	// Node names this coordinator in stitched traces and merged profiles
+	// (default "coord").
+	Node string
+	// TraceSampleEvery head-samples 1 in N queries that did not ask for
+	// a trace themselves (0 disables head sampling).
+	TraceSampleEvery int
+	// ProfileFetchTimeout bounds each worker /profiles fetch when serving
+	// the merged tier view (default 2s).
+	ProfileFetchTimeout time.Duration
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -35,6 +45,12 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.Node == "" {
+		o.Node = "coord"
+	}
+	if o.ProfileFetchTimeout <= 0 {
+		o.ProfileFetchTimeout = 2 * time.Second
 	}
 	return o
 }
@@ -46,8 +62,10 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 // failures (connection errors, 5xx) fail over along the ring's
 // successor list — the coordinator itself never originates a 500.
 type Coordinator struct {
-	opt    CoordinatorOptions
-	client *http.Client
+	opt     CoordinatorOptions
+	client  *http.Client
+	sampler *obs.Sampler
+	traces  *obs.TraceSink
 
 	mu      sync.Mutex
 	cfg     Config
@@ -67,6 +85,8 @@ type Coordinator struct {
 func NewCoordinator(cfg Config, opt CoordinatorOptions) *Coordinator {
 	return &Coordinator{
 		opt:     opt.withDefaults(),
+		sampler: obs.NewSampler(opt.TraceSampleEvery),
+		traces:  obs.NewTraceSink(0, 0),
 		cfg:     cfg,
 		live:    NewRing(cfg.Workers, cfg.vnodes()),
 		drained: make(map[string]bool),
@@ -239,24 +259,119 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/statusz", c.handleStatusz)
 	mux.HandleFunc("/admin/drain", c.handleAdminDrain)
 	mux.HandleFunc("/admin/reload", c.handleAdminReload)
+	mux.Handle("/debug/traces", c.traces)
+	mux.Handle("/profiles", profile.Handler(func() *profile.Snapshot {
+		return c.mergedSnapshot(nil)
+	}))
 	return mux
+}
+
+// TraceSink exposes the coordinator's stitched-trace ring (tests and
+// tooling read it back via /debug/traces).
+func (c *Coordinator) TraceSink() *obs.TraceSink { return c.traces }
+
+// mergedSnapshot fetches every live worker's profile snapshot and merges
+// them into one tier-wide view — the coordinator keeps no engine profile
+// of its own, it aggregates the workers'. Unreachable workers are simply
+// absent from the merge (the tier view degrades, it does not fail).
+func (c *Coordinator) mergedSnapshot(ctx context.Context) *profile.Snapshot {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	members := c.Live()
+	snaps := make([]*profile.Snapshot, 0, len(members))
+	for _, m := range members {
+		fctx, cancel := context.WithTimeout(ctx, c.opt.ProfileFetchTimeout)
+		var s profile.Snapshot
+		err := c.getJSON(fctx, m.URL+"/profiles?format=snapshot", &s)
+		cancel()
+		if err == nil {
+			snaps = append(snaps, &s)
+		}
+	}
+	return profile.MergeSnapshots(c.opt.Node, snaps...)
+}
+
+func (c *Coordinator) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // handleQuery routes one query. The body is buffered so the same query
 // can replay on the next preference-list worker after a connection error
 // or retryable 5xx; a worker dying mid-query therefore costs one hop,
 // never a client-visible 500.
+//
+// When the query is traced — the client asked (?trace=1 / "trace":true),
+// an upstream propagated a sampled traceparent, or head sampling fired —
+// the coordinator mints the tier-wide identity, forwards it to every
+// worker attempt as a traceparent header, and stitches the winning
+// worker's span tree (shipped back in its JSON response) under its own
+// routing timeline: one tree, one trace id, covering both processes and
+// every failover hop.
 func (c *Coordinator) handleQuery(rw http.ResponseWriter, r *http.Request) {
 	c.queries.Add(1)
-	sql, body, ok := c.readQuery(rw, r)
+	sql, body, wantTrace, ok := c.readQuery(rw, r)
 	if !ok {
 		return
+	}
+
+	var tc *obs.TraceCtx
+	if h := r.Header.Get(obs.TraceparentHeader); h != "" {
+		if tid, _, sampled, err := obs.ParseTraceparent(h); err == nil && sampled {
+			tc = &obs.TraceCtx{TraceID: tid, Sampled: true}
+		}
+	}
+	if tc == nil && (wantTrace || c.sampler.Sample()) {
+		tc = obs.NewTraceCtx()
+	}
+	start := time.Now()
+	var root *obs.SpanJSON
+	traceparent := ""
+	if tc != nil {
+		root = &obs.SpanJSON{Op: "coord.query", Detail: sqlForTrace(sql), Node: c.opt.Node}
+		traceparent = tc.Traceparent("")
+	}
+	finish := func(errMsg string) {
+		if root == nil {
+			return
+		}
+		elapsed := time.Since(start)
+		root.DurUS = float64(elapsed.Microseconds())
+		root.SelfUS = root.DurUS
+		for _, a := range root.Children {
+			root.SelfUS -= a.DurUS
+		}
+		if root.SelfUS < 0 {
+			root.SelfUS = 0
+		}
+		c.traces.Add(&obs.StoredTrace{
+			TraceID:   tc.TraceID,
+			SQL:       sqlForTrace(sql),
+			Node:      c.opt.Node,
+			StartedAt: start,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1000.0,
+			Error:     errMsg,
+			Root:      root,
+		})
 	}
 
 	attempts := c.opt.MaxAttempts
 	targets := c.ring().Successors(RouteKey(sql), attempts)
 	if len(targets) == 0 {
 		c.exhausted.Add(1)
+		finish("no live workers")
 		writeUnavailable(rw, "no live workers")
 		return
 	}
@@ -265,9 +380,29 @@ func (c *Coordinator) handleQuery(rw http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			c.reroutes.Add(1)
 		}
-		status, hdr, respBody, err := c.forward(r.Context(), m.URL+"/query", r.Header.Get("Content-Type"), body)
+		attemptStart := time.Now()
+		status, hdr, respBody, err := c.forward(r.Context(), m.URL+"/query", r.Header.Get("Content-Type"), body, traceparent)
+		var att *obs.SpanJSON
+		if root != nil {
+			att = &obs.SpanJSON{
+				Op:      "coord.attempt",
+				Detail:  m.ID,
+				Node:    c.opt.Node,
+				StartUS: float64(attemptStart.Sub(start).Microseconds()),
+				DurUS:   float64(time.Since(attemptStart).Microseconds()),
+			}
+			att.SelfUS = att.DurUS
+			switch {
+			case err != nil:
+				att.Detail = m.ID + " error"
+			case status != http.StatusOK:
+				att.Detail = fmt.Sprintf("%s status %d", m.ID, status)
+			}
+			root.Children = append(root.Children, att)
+		}
 		if err != nil {
 			if r.Context().Err() != nil {
+				finish("canceled: " + r.Context().Err().Error())
 				writeUnavailable(rw, "canceled: "+r.Context().Err().Error())
 				return
 			}
@@ -280,57 +415,124 @@ func (c *Coordinator) handleQuery(rw http.ResponseWriter, r *http.Request) {
 			// Never propagate a worker's 500-class surprise as-is; the
 			// client sees a retryable unavailable instead.
 			c.exhausted.Add(1)
+			finish(fmt.Sprintf("worker %s failed (status %d)", m.ID, status))
 			writeUnavailable(rw, fmt.Sprintf("worker %s failed (status %d)", m.ID, status))
 			return
 		}
+		if root != nil && status == http.StatusOK {
+			respBody = c.stitchResponse(respBody, root, att, m.ID, tc.TraceID, wantTrace)
+		}
+		errMsg := ""
+		if status != http.StatusOK {
+			errMsg = fmt.Sprintf("status %d", status)
+		}
+		finish(errMsg)
 		copyResponse(rw, status, hdr, respBody)
 		return
 	}
 	c.exhausted.Add(1)
+	finish("all workers unavailable")
 	writeUnavailable(rw, "all workers unavailable")
 }
 
-// readQuery extracts the SQL (for routing) and the replayable body from
-// either the POST JSON or the GET ?q= form, normalizing to the POST form.
-func (c *Coordinator) readQuery(rw http.ResponseWriter, r *http.Request) (sql string, body []byte, ok bool) {
+// sqlForTrace bounds the SQL text stored with a trace.
+func sqlForTrace(sql string) string {
+	if len(sql) > 200 {
+		return sql[:200] + "…"
+	}
+	return sql
+}
+
+// stitchResponse grafts the worker's span tree (the "trace" field of its
+// JSON response) under the winning attempt span, stamps the tier trace
+// id, and re-encodes. The response "trace" field carries the stitched
+// tree only when the client asked for one — head-sampled trees stay
+// server-side in /debug/traces. Any decode failure returns the body
+// unchanged: stitching must never break query results.
+func (c *Coordinator) stitchResponse(respBody []byte, root, att *obs.SpanJSON, workerID, traceID string, wantTrace bool) []byte {
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(respBody, &fields); err != nil {
+		return respBody
+	}
+	if raw, ok := fields["trace"]; ok {
+		var wt obs.SpanJSON
+		if err := json.Unmarshal(raw, &wt); err == nil {
+			if wt.Node == "" {
+				wt.Node = workerID
+			}
+			att.Graft(&wt, workerID)
+			// The worker's execution nests inside the attempt's round trip;
+			// the attempt's self time shrinks to the network overhead.
+			if att.SelfUS -= wt.DurUS; att.SelfUS < 0 {
+				att.SelfUS = 0
+			}
+		}
+		delete(fields, "trace")
+	}
+	// The root's duration isn't final until finish(); the client-visible
+	// tree closes it out at the last attempt's end instead.
+	if wantTrace {
+		last := root.Children[len(root.Children)-1]
+		root.DurUS = last.StartUS + last.DurUS
+		if buf, err := json.Marshal(root); err == nil {
+			fields["trace"] = buf
+		}
+	}
+	if buf, err := json.Marshal(traceID); err == nil {
+		fields["trace_id"] = buf
+	}
+	out, err := json.Marshal(fields)
+	if err != nil {
+		return respBody
+	}
+	return out
+}
+
+// readQuery extracts the SQL (for routing), the replayable body, and
+// whether the client asked for a trace, from either the POST JSON or the
+// GET ?q= form, normalizing to the POST form.
+func (c *Coordinator) readQuery(rw http.ResponseWriter, r *http.Request) (sql string, body []byte, wantTrace, ok bool) {
 	if r.Method == http.MethodGet {
 		q := r.URL.Query().Get("q")
 		if q == "" {
 			c.badBodies.Add(1)
 			http.Error(rw, "missing q parameter", http.StatusBadRequest)
-			return "", nil, false
+			return "", nil, false, false
 		}
 		req := map[string]any{"sql": q}
 		if r.URL.Query().Get("trace") == "1" {
 			req["trace"] = true
+			wantTrace = true
 		}
 		buf, err := json.Marshal(req)
 		if err != nil {
 			c.badBodies.Add(1)
 			http.Error(rw, "bad query", http.StatusBadRequest)
-			return "", nil, false
+			return "", nil, false, false
 		}
-		return q, buf, true
+		return q, buf, wantTrace, true
 	}
 	raw, err := io.ReadAll(io.LimitReader(r.Body, c.opt.MaxBodyBytes))
 	if err != nil {
 		c.badBodies.Add(1)
 		http.Error(rw, "unreadable body", http.StatusBadRequest)
-		return "", nil, false
+		return "", nil, false, false
 	}
 	var req struct {
-		SQL string `json:"sql"`
+		SQL   string `json:"sql"`
+		Trace bool   `json:"trace"`
 	}
 	if err := json.Unmarshal(raw, &req); err != nil || req.SQL == "" {
 		c.badBodies.Add(1)
 		http.Error(rw, "body must be JSON with a sql field", http.StatusBadRequest)
-		return "", nil, false
+		return "", nil, false, false
 	}
-	return req.SQL, raw, true
+	return req.SQL, raw, req.Trace, true
 }
 
-// forward replays one buffered query against one worker.
-func (c *Coordinator) forward(ctx context.Context, url, contentType string, body []byte) (int, http.Header, []byte, error) {
+// forward replays one buffered query against one worker. A non-empty
+// traceparent rides along so the worker joins the tier-wide trace.
+func (c *Coordinator) forward(ctx context.Context, url, contentType string, body []byte, traceparent string) (int, http.Header, []byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -342,6 +544,9 @@ func (c *Coordinator) forward(ctx context.Context, url, contentType string, body
 		contentType = "application/json"
 	}
 	req.Header.Set("Content-Type", contentType)
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err

@@ -166,8 +166,42 @@ func (p *Peers) Fetch(ctx context.Context, key string) ([]types.Tuple, bool) {
 	return rows, ok
 }
 
-// fetchFrom performs one remote cache get against a home shard.
+// fetchFrom performs one remote cache get against a home shard. When the
+// calling query is being traced, the get carries a traceparent header,
+// the home shard answers with its handler span (SpanHeader), and the
+// whole round trip — local wrapper plus remote child — is handed to the
+// trace context for the query root to adopt. (Fills stay untraced: they
+// are fire-and-forget background offers with no query to attribute them
+// to by the time the sender drains its queue.)
 func (p *Peers) fetchFrom(ctx context.Context, base, key string) ([]types.Tuple, bool) {
+	tc := obs.SampledTrace(ctx)
+	if tc == nil {
+		rows, ok, _ := p.doFetch(ctx, base, key, "")
+		return rows, ok
+	}
+	start := time.Now()
+	rows, ok, remoteSpan := p.doFetch(ctx, base, key, tc.Traceparent(""))
+	sp := &obs.Span{Op: "shard.peer.fetch", Start: start, Dur: time.Since(start)}
+	if ok {
+		sp.Detail = "hit"
+		sp.Rows = int64(len(rows))
+	} else {
+		sp.Detail = "miss"
+	}
+	// The remote handler ran inside this round trip, so it nests as a
+	// synchronous child: the fetch span's self time becomes pure network
+	// plus queueing overhead.
+	if remoteSpan != nil {
+		sp.AddChild(obs.SpanFromJSON(remoteSpan, start))
+	}
+	tc.AddRemote(sp)
+	return rows, ok
+}
+
+// doFetch is the wire half of fetchFrom. A non-empty traceparent is
+// attached to the request, and any span the home shard returns in
+// SpanHeader is parsed into remoteSpan.
+func (p *Peers) doFetch(ctx context.Context, base, key, traceparent string) (rows []types.Tuple, ok bool, remoteSpan *obs.SpanJSON) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -178,26 +212,37 @@ func (p *Peers) fetchFrom(ctx context.Context, base, key string) ([]types.Tuple,
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		p.fetchErrors.Add(1)
-		return nil, false
+		return nil, false, nil
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		p.fetchErrors.Add(1)
-		return nil, false
+		return nil, false, nil
 	}
 	defer resp.Body.Close()
+	if traceparent != "" {
+		if h := resp.Header.Get(SpanHeader); h != "" {
+			var sj obs.SpanJSON
+			if err := json.Unmarshal([]byte(h), &sj); err == nil {
+				remoteSpan = &sj
+			}
+		}
+	}
 	if resp.StatusCode != http.StatusOK {
 		if resp.StatusCode != http.StatusNotFound {
 			p.fetchErrors.Add(1)
 		}
-		return nil, false
+		return nil, false, remoteSpan
 	}
 	var out cacheGetResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		p.fetchErrors.Add(1)
-		return nil, false
+		return nil, false, remoteSpan
 	}
-	return out.Rows, true
+	return out.Rows, true, remoteSpan
 }
 
 // Fill implements async.CachePeer: after computing rows locally, offer

@@ -158,11 +158,46 @@ func (w *Worker) handleQuery(rw http.ResponseWriter, r *http.Request) {
 	w.delegate(rw, r)
 }
 
+// SpanHeader carries a remote handler's span (obs.SpanJSON, one JSON
+// line) back to the caller on header-only exchanges — the cache-get
+// protocol, whose 404 answers have no body to ride in. The asker wraps
+// it under its local round-trip span, stitching the remote work into the
+// query's trace.
+const SpanHeader = "X-Wsq-Span"
+
+// traceSpanSetter returns a function that stamps SpanHeader with a
+// shard.cache.get span just before the response is written, or nil when
+// the request carries no sampled traceparent (the untraced hot path does
+// no timing at all).
+func (w *Worker) traceSpanSetter(rw http.ResponseWriter, r *http.Request) func(outcome string) {
+	h := r.Header.Get(obs.TraceparentHeader)
+	if h == "" {
+		return nil
+	}
+	if _, _, sampled, err := obs.ParseTraceparent(h); err != nil || !sampled {
+		return nil
+	}
+	start := time.Now()
+	return func(outcome string) {
+		span := &obs.SpanJSON{
+			Op:     "shard.cache.get",
+			Detail: outcome,
+			Node:   w.opt.ID,
+			DurUS:  float64(time.Since(start).Microseconds()),
+		}
+		span.SelfUS = span.DurUS
+		if buf, err := json.Marshal(span); err == nil {
+			rw.Header().Set(SpanHeader, string(buf))
+		}
+	}
+}
+
 // handleCacheGet is the home-shard lookup. On a hit it returns the rows.
 // On a miss it consults the fill-promise map: the first misser claims
 // the key (404 — go compute and fill me), later missers wait up to
 // wait_ms for that fill and are served from it when it lands.
 func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
+	traced := w.traceSpanSetter(rw, r)
 	key := r.URL.Query().Get("key")
 	if key == "" || w.opt.Cache == nil {
 		http.NotFound(rw, r)
@@ -170,6 +205,9 @@ func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
 	}
 	if rows, ok := w.opt.Cache.Get(key); ok {
 		w.remoteHits.Add(1)
+		if traced != nil {
+			traced("hit")
+		}
 		writeRows(rw, rows)
 		return
 	}
@@ -190,6 +228,9 @@ func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
 		w.promises[key] = &fillPromise{done: make(chan struct{}), born: time.Now()}
 		w.pmu.Unlock()
 		w.remoteMisses.Add(1)
+		if traced != nil {
+			traced("miss_claimed")
+		}
 		http.NotFound(rw, r) // claimed: the asker computes, then fills
 		return
 	}
@@ -204,6 +245,9 @@ func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
 		case <-pr.done:
 			if pr.ok {
 				w.promiseServed.Add(1)
+				if traced != nil {
+					traced("promise_hit")
+				}
 				writeRows(rw, pr.rows)
 				return
 			}
@@ -212,6 +256,9 @@ func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.remoteMisses.Add(1)
+	if traced != nil {
+		traced("miss")
+	}
 	http.NotFound(rw, r)
 }
 
